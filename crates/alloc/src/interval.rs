@@ -1,0 +1,149 @@
+//! ORF/LRF entry occupancy tracking over static instruction slots.
+//!
+//! The greedy allocator of Figure 7 asks each physical entry whether it is
+//! `available(begin, end)` over a range of static instruction positions
+//! within the strand and allocates the value into the first free entry.
+
+/// Occupancy intervals for a small register file level.
+///
+/// Positions are strand-relative static instruction indices; intervals are
+/// inclusive on both ends (a value occupies its entry from its producing
+/// instruction through its last covered read).
+#[derive(Debug, Clone)]
+pub struct Occupancy {
+    entries: Vec<Vec<(usize, usize)>>,
+}
+
+impl Occupancy {
+    /// Creates an occupancy tracker for `entries` physical entries.
+    pub fn new(entries: usize) -> Self {
+        Occupancy {
+            entries: vec![Vec::new(); entries],
+        }
+    }
+
+    /// Number of physical entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tracker has no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether entry `e` is free over the inclusive range `[begin, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range or `begin > end`.
+    pub fn available(&self, e: usize, begin: usize, end: usize) -> bool {
+        assert!(begin <= end, "inverted interval");
+        self.entries[e].iter().all(|&(b, en)| end < b || en < begin)
+    }
+
+    /// Marks entry `e` occupied over `[begin, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing allocation (allocator bug).
+    pub fn allocate(&mut self, e: usize, begin: usize, end: usize) {
+        assert!(
+            self.available(e, begin, end),
+            "overlapping allocation in entry {e}"
+        );
+        self.entries[e].push((begin, end));
+    }
+
+    /// Finds the first base entry such that `width` consecutive entries are
+    /// all free over `[begin, end]` (width 2 serves 64-bit values).
+    pub fn find_free(&self, begin: usize, end: usize, width: usize) -> Option<usize> {
+        if width == 0 || width > self.entries.len() {
+            return None;
+        }
+        (0..=self.entries.len() - width)
+            .find(|&base| (0..width).all(|i| self.available(base + i, begin, end)))
+    }
+
+    /// Marks `width` consecutive entries starting at `base` occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overlap, like [`Occupancy::allocate`].
+    pub fn allocate_wide(&mut self, base: usize, begin: usize, end: usize, width: usize) {
+        for i in 0..width {
+            self.allocate(base + i, begin, end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entries_are_available() {
+        let o = Occupancy::new(3);
+        assert_eq!(o.len(), 3);
+        assert!(o.available(0, 0, 10));
+        assert_eq!(o.find_free(0, 10, 1), Some(0));
+    }
+
+    #[test]
+    fn allocation_blocks_overlaps_only() {
+        let mut o = Occupancy::new(1);
+        o.allocate(0, 3, 6);
+        assert!(!o.available(0, 0, 3), "inclusive endpoints overlap");
+        assert!(!o.available(0, 6, 9));
+        assert!(!o.available(0, 4, 5));
+        assert!(o.available(0, 0, 2));
+        assert!(o.available(0, 7, 9));
+    }
+
+    #[test]
+    fn find_free_skips_busy_entries() {
+        let mut o = Occupancy::new(3);
+        o.allocate(0, 0, 5);
+        o.allocate(1, 2, 4);
+        assert_eq!(o.find_free(3, 4, 1), Some(2));
+        assert_eq!(o.find_free(6, 8, 1), Some(0));
+    }
+
+    #[test]
+    fn wide_allocation_needs_adjacent_entries() {
+        let mut o = Occupancy::new(3);
+        o.allocate(1, 0, 9);
+        assert_eq!(
+            o.find_free(0, 5, 2),
+            None,
+            "entries 0-1 and 1-2 both blocked"
+        );
+        let mut o2 = Occupancy::new(3);
+        o2.allocate(0, 0, 9);
+        assert_eq!(o2.find_free(0, 5, 2), Some(1));
+        o2.allocate_wide(1, 0, 5, 2);
+        assert!(!o2.available(2, 3, 3));
+    }
+
+    #[test]
+    fn zero_or_oversized_width_finds_nothing() {
+        let o = Occupancy::new(2);
+        assert_eq!(o.find_free(0, 1, 0), None);
+        assert_eq!(o.find_free(0, 1, 3), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_allocation_panics() {
+        let mut o = Occupancy::new(1);
+        o.allocate(0, 0, 5);
+        o.allocate(0, 5, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_interval_panics() {
+        let o = Occupancy::new(1);
+        o.available(0, 5, 3);
+    }
+}

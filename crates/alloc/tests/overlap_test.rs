@@ -1,0 +1,53 @@
+//! Regression test from review: overlapping 64-bit definitions on the two
+//! sides of a hammock (`r4.w64` defines r4/r5; `r5.w64` defines r5/r6)
+//! produce a merge group whose members have different root registers. Such
+//! a group cannot be co-allocated to a single ORF entry base; its reads
+//! must stay on the MRF.
+
+use rfh_alloc::{allocate, AllocConfig};
+use rfh_energy::EnergyModel;
+
+#[test]
+fn overlapping_w64_merge_group() {
+    let mut k = rfh_isa::parse_kernel(
+        "
+.kernel ow
+BB0:
+  mov r0, %tid.x
+  setp.lt p0 r0, 16
+  @p0 bra BB2
+BB1:
+  ld.shared r4.w64 r0
+  bra BB3
+BB2:
+  ld.shared r5.w64 r0
+BB3:
+  iadd r7 r5, 1
+  iadd r8 r6, 1
+  iadd r9 r5, 2
+  iadd r10 r6, 2
+  iadd r11 r5, 3
+  iadd r12 r6, 3
+  exit
+",
+    )
+    .unwrap();
+    let model = EnergyModel::default();
+    let cfg = AllocConfig::default();
+    allocate(&mut k, &cfg, &model);
+    rfh_alloc::validate_placements(&k, &cfg).unwrap();
+    // The overlapped halves (r5, r6) must be read from the MRF.
+    for (at, i) in k.iter_instrs() {
+        if at.block == rfh_isa::BlockId::new(3) {
+            for (slot, src) in i.srcs.iter().enumerate() {
+                if src.is_reg() {
+                    assert_eq!(
+                        i.read_locs[slot],
+                        rfh_isa::ReadLoc::Mrf,
+                        "{at}: overlapped wide value must stay on the MRF"
+                    );
+                }
+            }
+        }
+    }
+}

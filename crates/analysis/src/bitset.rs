@@ -1,0 +1,221 @@
+//! Dense register bitsets for dataflow analyses.
+
+use std::fmt;
+
+use rfh_isa::Reg;
+
+/// A dense set of general-purpose registers, sized for a kernel's register
+/// demand.
+///
+/// # Examples
+///
+/// ```
+/// use rfh_analysis::RegSet;
+/// use rfh_isa::Reg;
+///
+/// let mut s = RegSet::new(40);
+/// s.insert(Reg::new(3));
+/// s.insert(Reg::new(39));
+/// assert!(s.contains(Reg::new(3)));
+/// assert_eq!(s.iter().count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RegSet {
+    words: Vec<u64>,
+    capacity: u16,
+}
+
+impl RegSet {
+    /// Creates an empty set able to hold registers `r0..r{capacity}`.
+    pub fn new(capacity: u16) -> Self {
+        RegSet {
+            words: vec![0; (capacity as usize).div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> u16 {
+        self.capacity
+    }
+
+    /// Inserts a register; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register index is at or beyond the capacity.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        assert!(
+            r.index() < self.capacity,
+            "register {r} out of set capacity"
+        );
+        let (w, b) = (r.index() as usize / 64, r.index() as usize % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes a register; returns whether it was present.
+    pub fn remove(&mut self, r: Reg) -> bool {
+        if r.index() >= self.capacity {
+            return false;
+        }
+        let (w, b) = (r.index() as usize / 64, r.index() as usize % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Whether the register is in the set.
+    pub fn contains(&self, r: Reg) -> bool {
+        if r.index() >= self.capacity {
+            return false;
+        }
+        let (w, b) = (r.index() as usize / 64, r.index() as usize % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different capacities.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Removes every register in `other` from `self`.
+    pub fn subtract(&mut self, other: &RegSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros();
+                w &= w - 1;
+                Some(Reg::new((wi * 64) as u16 + b as u16))
+            })
+        })
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    /// Collects registers into a set sized to the largest member.
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> Self {
+        let regs: Vec<Reg> = iter.into_iter().collect();
+        let cap = regs.iter().map(|r| r.index() + 1).max().unwrap_or(0);
+        let mut s = RegSet::new(cap);
+        for r in regs {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RegSet::new(100);
+        assert!(s.insert(Reg::new(0)));
+        assert!(!s.insert(Reg::new(0)));
+        assert!(s.insert(Reg::new(99)));
+        assert!(s.contains(Reg::new(99)));
+        assert!(s.remove(Reg::new(99)));
+        assert!(!s.remove(Reg::new(99)));
+        assert!(!s.contains(Reg::new(99)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn out_of_capacity_contains_is_false() {
+        let s = RegSet::new(4);
+        assert!(!s.contains(Reg::new(10)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_capacity_insert_panics() {
+        let mut s = RegSet::new(4);
+        s.insert(Reg::new(4));
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = RegSet::new(70);
+        let mut b = RegSet::new(70);
+        b.insert(Reg::new(65));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.contains(Reg::new(65)));
+    }
+
+    #[test]
+    fn subtract_removes_members() {
+        let mut a = RegSet::new(10);
+        a.insert(Reg::new(1));
+        a.insert(Reg::new(2));
+        let mut b = RegSet::new(10);
+        b.insert(Reg::new(2));
+        a.subtract(&b);
+        assert!(a.contains(Reg::new(1)));
+        assert!(!a.contains(Reg::new(2)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = RegSet::new(130);
+        for i in [5u16, 64, 127, 0] {
+            s.insert(Reg::new(i));
+        }
+        let v: Vec<u16> = s.iter().map(|r| r.index()).collect();
+        assert_eq!(v, vec![0, 5, 64, 127]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: RegSet = [Reg::new(3), Reg::new(17)].into_iter().collect();
+        assert_eq!(s.capacity(), 18);
+        assert_eq!(s.len(), 2);
+        let empty: RegSet = std::iter::empty().collect();
+        assert!(empty.is_empty());
+    }
+}

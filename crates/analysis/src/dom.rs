@@ -1,0 +1,343 @@
+//! Dominator and post-dominator trees.
+//!
+//! Implemented with the Cooper–Harvey–Kennedy iterative algorithm over a
+//! reverse-postorder numbering. Post-dominators are computed on the reversed
+//! CFG with a virtual exit node joining all real exits; they provide the
+//! branch *reconvergence points* used by the SIMT executor in `rfh-sim`.
+
+use rfh_isa::{BlockId, Kernel};
+
+/// A (post-)dominator tree over a kernel's blocks.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block; `None` for the root and for
+    /// unreachable blocks.
+    idom: Vec<Option<u32>>,
+    /// Whether each block is reachable from the tree's root.
+    reachable: Vec<bool>,
+}
+
+/// Reverse postorder of the graph `succs` starting at `entry`.
+fn reverse_postorder(n: usize, entry: usize, succs: &dyn Fn(usize) -> Vec<usize>) -> Vec<usize> {
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit successor cursors.
+    let mut stack: Vec<(usize, Vec<usize>, usize)> = vec![(entry, succs(entry), 0)];
+    state[entry] = 1;
+    while let Some((node, ss, cursor)) = stack.last_mut() {
+        if let Some(&next) = ss.get(*cursor) {
+            *cursor += 1;
+            if state[next] == 0 {
+                state[next] = 1;
+                stack.push((next, succs(next), 0));
+            }
+        } else {
+            state[*node] = 2;
+            post.push(*node);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Cooper–Harvey–Kennedy immediate dominators.
+///
+/// `preds` must enumerate predecessors in the same graph orientation as the
+/// RPO traversal. Returns idoms indexed by node; the entry maps to itself.
+fn compute_idoms(
+    n: usize,
+    entry: usize,
+    rpo: &[usize],
+    preds: &[Vec<usize>],
+) -> Vec<Option<usize>> {
+    let mut rpo_num = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_num[b] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[entry] = Some(entry);
+
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                a = idom[a].expect("processed node has idom");
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b].expect("processed node has idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+impl DomTree {
+    /// Computes the dominator tree rooted at the kernel entry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfh_analysis::DomTree;
+    /// let k = rfh_isa::parse_kernel("
+    /// .kernel d
+    /// BB0:
+    ///   setp.lt p0 r0, 1
+    ///   @p0 bra BB2
+    /// BB1:
+    ///   iadd r1 r0, 1
+    /// BB2:
+    ///   exit
+    /// ").unwrap();
+    /// let dom = DomTree::dominators(&k);
+    /// let bb = rfh_isa::BlockId::new;
+    /// assert_eq!(dom.idom(bb(2)), Some(bb(0)));
+    /// assert!(dom.dominates(bb(0), bb(2)));
+    /// assert!(!dom.dominates(bb(1), bb(2)));
+    /// ```
+    pub fn dominators(kernel: &Kernel) -> DomTree {
+        let n = kernel.blocks.len();
+        let entry = kernel.entry().index();
+        let succs = |b: usize| -> Vec<usize> {
+            kernel
+                .successors(BlockId::new(b as u32))
+                .iter()
+                .map(|s| s.index())
+                .collect()
+        };
+        let rpo = reverse_postorder(n, entry, &succs);
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in 0..n {
+            for s in succs(b) {
+                preds[s].push(b);
+            }
+        }
+        let idoms = compute_idoms(n, entry, &rpo, &preds);
+        DomTree::from_raw(idoms, entry, n)
+    }
+
+    /// Computes the post-dominator tree (rooted at a virtual exit joining
+    /// all blocks with no successors).
+    ///
+    /// A block's immediate post-dominator is `None` when its only
+    /// post-dominator is the virtual exit — i.e. paths from it diverge to
+    /// different exits (or it exits directly).
+    pub fn post_dominators(kernel: &Kernel) -> DomTree {
+        let n = kernel.blocks.len();
+        let virt = n; // virtual exit node
+                      // Reversed graph: successors of b are b's CFG predecessors; the
+                      // virtual exit's successors are the real exit blocks.
+        let preds_of: Vec<Vec<usize>> = kernel
+            .predecessors()
+            .into_iter()
+            .map(|ps| ps.into_iter().map(|p| p.index()).collect())
+            .collect();
+        let exits: Vec<usize> = (0..n)
+            .filter(|&b| kernel.successors(BlockId::new(b as u32)).is_empty())
+            .collect();
+        let succs = move |b: usize| -> Vec<usize> {
+            if b == virt {
+                exits.clone()
+            } else {
+                preds_of[b].clone()
+            }
+        };
+        let rpo = reverse_postorder(n + 1, virt, &succs);
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for b in 0..=n {
+            for s in succs(b) {
+                preds[s].push(b);
+            }
+        }
+        let mut idoms = compute_idoms(n + 1, virt, &rpo, &preds);
+        // Map "post-dominated only by the virtual exit" to None.
+        for d in idoms.iter_mut() {
+            if *d == Some(virt) {
+                *d = None;
+            }
+        }
+        idoms.truncate(n);
+        DomTree::from_raw(idoms, virt, n)
+    }
+
+    fn from_raw(idoms: Vec<Option<usize>>, root: usize, n: usize) -> DomTree {
+        let reachable: Vec<bool> = (0..n)
+            .map(|b| b == root || idoms.get(b).copied().flatten().is_some())
+            .collect();
+        let idom = (0..n)
+            .map(|b| {
+                let d = idoms.get(b).copied().flatten();
+                match d {
+                    Some(d) if d != b && d < n => Some(d as u32),
+                    _ => None,
+                }
+            })
+            .collect();
+        DomTree { idom, reachable }
+    }
+
+    /// The immediate (post-)dominator of `b`, or `None` for the root,
+    /// unreachable blocks, and (for post-dominators) blocks whose only
+    /// post-dominator is the virtual exit.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()].map(BlockId::new)
+    }
+
+    /// Whether `b` was reachable from the tree's root.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Whether `a` (post-)dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            if c == a {
+                return true;
+            }
+            cur = self.idom(c);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_isa::parse_kernel;
+
+    fn bb(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+
+    /// Diamond: BB0 → {BB1, BB2} → BB3.
+    fn diamond() -> Kernel {
+        parse_kernel(
+            "
+.kernel diamond
+BB0:
+  setp.lt p0 r0, 1
+  @p0 bra BB2
+BB1:
+  iadd r1 r0, 1
+  bra BB3
+BB2:
+  iadd r1 r0, 2
+BB3:
+  exit
+",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let d = DomTree::dominators(&diamond());
+        assert_eq!(d.idom(bb(0)), None);
+        assert_eq!(d.idom(bb(1)), Some(bb(0)));
+        assert_eq!(d.idom(bb(2)), Some(bb(0)));
+        assert_eq!(d.idom(bb(3)), Some(bb(0)));
+        assert!(d.dominates(bb(0), bb(3)));
+        assert!(!d.dominates(bb(1), bb(3)));
+        assert!(d.dominates(bb(3), bb(3)));
+    }
+
+    #[test]
+    fn diamond_post_dominators() {
+        let p = DomTree::post_dominators(&diamond());
+        assert_eq!(p.idom(bb(0)), Some(bb(3)));
+        assert_eq!(p.idom(bb(1)), Some(bb(3)));
+        assert_eq!(p.idom(bb(2)), Some(bb(3)));
+        assert_eq!(p.idom(bb(3)), None);
+        assert!(p.dominates(bb(3), bb(0)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // BB0 → BB1 ⇄ BB1, BB1 → BB2
+        let k = parse_kernel(
+            "
+.kernel l
+BB0:
+  mov r0, 0
+BB1:
+  iadd r0 r0, 1
+  setp.lt p0 r0, 10
+  @p0 bra BB1
+BB2:
+  exit
+",
+        )
+        .unwrap();
+        let d = DomTree::dominators(&k);
+        assert_eq!(d.idom(bb(1)), Some(bb(0)));
+        assert_eq!(d.idom(bb(2)), Some(bb(1)));
+        let p = DomTree::post_dominators(&k);
+        assert_eq!(p.idom(bb(0)), Some(bb(1)));
+        assert_eq!(p.idom(bb(1)), Some(bb(2)));
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        let k = parse_kernel(
+            "
+.kernel u
+BB0:
+  bra BB2
+BB1:
+  iadd r0 r0, 1
+BB2:
+  exit
+",
+        )
+        .unwrap();
+        let d = DomTree::dominators(&k);
+        assert_eq!(d.idom(bb(1)), None);
+        assert!(!d.is_reachable(bb(1)));
+        assert!(d.is_reachable(bb(2)));
+        assert_eq!(d.idom(bb(2)), Some(bb(0)));
+    }
+
+    #[test]
+    fn multi_exit_post_dominators() {
+        // BB0 branches to BB2 (exit) or falls to BB1 (exit): no common
+        // post-dominator other than the virtual exit.
+        let k = parse_kernel(
+            "
+.kernel m
+BB0:
+  setp.lt p0 r0, 1
+  @p0 bra BB2
+BB1:
+  exit
+BB2:
+  exit
+",
+        )
+        .unwrap();
+        let p = DomTree::post_dominators(&k);
+        assert_eq!(p.idom(bb(0)), None);
+        assert_eq!(p.idom(bb(1)), None);
+        assert_eq!(p.idom(bb(2)), None);
+    }
+}

@@ -1,0 +1,773 @@
+//! Strand partitioning (paper §4.1).
+//!
+//! A *strand* is a sequence of instructions in which all dependences on
+//! long-latency instructions come from operations issued in a previous
+//! strand. The compiler marks the last instruction of each strand with the
+//! `ends_strand` bit (one extra bit per instruction, §6.5). All values
+//! communicated between strands must go through the MRF, so the allocator
+//! in `rfh-alloc` works strand by strand.
+//!
+//! Strand endpoints arise from (Figure 5):
+//!
+//! * an instruction reading a register produced by a long-latency operation
+//!   issued in the *current* strand — the endpoint is just before the
+//!   reader, and the warp is descheduled there at run time;
+//! * a backward branch (and, symmetrically, every block targeted by a
+//!   backward branch begins a new strand);
+//! * a barrier, which suspends the warp;
+//! * a control-flow join where the set of *pending* long-latency events
+//!   differs between incoming paths (Figure 5b) — resolved conservatively
+//!   by inserting an endpoint at the join;
+//! * an unguarded `exit`.
+//!
+//! Endpoints that fall at a block entry are encoded by marking the
+//! terminator of every predecessor block, which is what a real encoding
+//! would do (whichever path executes, the bit fires before the join).
+
+use std::collections::HashMap;
+
+use rfh_isa::{BlockId, InstrRef, Kernel};
+
+use crate::bitset::RegSet;
+use crate::dom::DomTree;
+
+/// Identifier of a strand within a kernel (dense, in layout order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StrandId(pub u32);
+
+impl StrandId {
+    /// The strand's index in [`StrandInfo::strands`].
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Why a strand ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndReason {
+    /// The next instruction consumes a long-latency result issued in this
+    /// strand; the warp is descheduled here.
+    LongLatencyDep,
+    /// The strand ends at a backward branch; the warp need not be
+    /// descheduled, but the ORF/LRF are invalidated.
+    BackwardBranch,
+    /// The strand ends at a barrier; the warp is descheduled.
+    Barrier,
+    /// The strand ends at a join whose pending long-latency events are
+    /// control-flow dependent (Figure 5b).
+    UncertainJoin,
+    /// The strand ends because the next block is a loop header (the target
+    /// of a backward branch).
+    LoopHeader,
+    /// The strand ends at an unguarded `exit` (or the end of the kernel).
+    KernelEnd,
+}
+
+impl EndReason {
+    /// Whether the two-level scheduler deschedules the warp at this kind of
+    /// endpoint (long-latency dependences and barriers do; pure
+    /// control-flow endpoints do not — §4.1).
+    pub const fn deschedules(self) -> bool {
+        matches!(self, EndReason::LongLatencyDep | EndReason::Barrier)
+    }
+}
+
+/// One strand: a maximal run of layout-ordered instructions containing no
+/// internal endpoint.
+#[derive(Debug, Clone)]
+pub struct Strand {
+    /// This strand's id.
+    pub id: StrandId,
+    /// The instructions, in layout order.
+    pub instrs: Vec<InstrRef>,
+    /// Why the strand ends.
+    pub end_reason: EndReason,
+}
+
+impl Strand {
+    /// The blocks this strand overlaps, in layout order.
+    pub fn blocks(&self) -> Vec<BlockId> {
+        let mut blocks: Vec<BlockId> = Vec::new();
+        for r in &self.instrs {
+            if blocks.last() != Some(&r.block) {
+                blocks.push(r.block);
+            }
+        }
+        blocks
+    }
+}
+
+/// The result of strand partitioning.
+#[derive(Debug, Clone)]
+pub struct StrandInfo {
+    /// All strands in layout order.
+    pub strands: Vec<Strand>,
+    /// Strand id per instruction: `map[block][index]`.
+    instr_map: Vec<Vec<u32>>,
+}
+
+impl StrandInfo {
+    /// The strand containing the instruction at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is out of range.
+    pub fn strand_of(&self, at: InstrRef) -> StrandId {
+        StrandId(self.instr_map[at.block.index()][at.index])
+    }
+
+    /// The strand with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn strand(&self, id: StrandId) -> &Strand {
+        &self.strands[id.index()]
+    }
+
+    /// Number of strands.
+    pub fn len(&self) -> usize {
+        self.strands.len()
+    }
+
+    /// Whether the kernel has no strands (only true for empty kernels).
+    pub fn is_empty(&self) -> bool {
+        self.strands.is_empty()
+    }
+}
+
+/// Options for strand partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrandOpts {
+    /// Split strands at deschedule points (dependences on long-latency
+    /// operations and barriers). Disabling this models the idealized §7
+    /// "never flush" machine in which LRF/ORF contents survive
+    /// descheduling; it is not realizable with temporally-shared upper
+    /// levels.
+    pub split_on_deschedule: bool,
+}
+
+impl Default for StrandOpts {
+    fn default() -> Self {
+        StrandOpts {
+            split_on_deschedule: true,
+        }
+    }
+}
+
+/// Partitions `kernel` into strands, setting the `ends_strand` bit on the
+/// last instruction of each strand, and returns the strand structure.
+///
+/// The pass is idempotent: all existing `ends_strand` bits are cleared
+/// first.
+pub fn mark_strands(kernel: &mut Kernel) -> StrandInfo {
+    mark_strands_opts(kernel, StrandOpts::default())
+}
+
+/// [`mark_strands`] with explicit [`StrandOpts`].
+pub fn mark_strands_opts(kernel: &mut Kernel, opts: StrandOpts) -> StrandInfo {
+    let n = kernel.blocks.len();
+    let num_regs = kernel.num_regs();
+    let dom = DomTree::dominators(kernel);
+
+    for b in kernel.blocks.iter_mut() {
+        for i in b.instrs.iter_mut() {
+            i.ends_strand = false;
+        }
+    }
+
+    // Blocks targeted by a backward branch begin new strands.
+    let mut loop_header = vec![false; n];
+    for b in &kernel.blocks {
+        for s in kernel.successors(b.id) {
+            if kernel.is_backward_edge(b.id, s) {
+                loop_header[s.index()] = true;
+            }
+        }
+    }
+
+    let preds = kernel.predecessors();
+    let mut reasons: HashMap<InstrRef, EndReason> = HashMap::new();
+    let mut entry_boundary = vec![false; n];
+    let mut entry_reason = vec![EndReason::UncertainJoin; n];
+    let mut pending_out: Vec<Option<RegSet>> = vec![None; n];
+
+    for bi in 0..n {
+        let id = BlockId::new(bi as u32);
+        if !dom.is_reachable(id) {
+            continue;
+        }
+        let mut pending = if loop_header[bi] {
+            entry_boundary[bi] = true;
+            entry_reason[bi] = EndReason::LoopHeader;
+            RegSet::new(num_regs)
+        } else {
+            // Join the pending sets of already-processed predecessors
+            // (forward edges only reach here; backward preds were handled
+            // by the loop-header rule above).
+            let incoming: Vec<&RegSet> = preds[bi]
+                .iter()
+                .filter_map(|p| pending_out[p.index()].as_ref())
+                .collect();
+            match incoming.split_first() {
+                None => RegSet::new(num_regs),
+                Some((first, rest)) if rest.iter().all(|s| *s == *first) => (*first).clone(),
+                _ => {
+                    // Paths disagree about which long-latency events are
+                    // pending: insert an endpoint at the join (Figure 5b).
+                    entry_boundary[bi] = true;
+                    entry_reason[bi] = EndReason::UncertainJoin;
+                    RegSet::new(num_regs)
+                }
+            }
+        };
+
+        let block = &mut kernel.blocks[bi];
+        let block_len = block.instrs.len();
+        for i in 0..block_len {
+            let reads_pending = opts.split_on_deschedule
+                && block.instrs[i].reg_srcs().any(|(_, r)| pending.contains(r));
+            if reads_pending {
+                if i == 0 {
+                    entry_boundary[bi] = true;
+                    entry_reason[bi] = EndReason::LongLatencyDep;
+                } else {
+                    block.instrs[i - 1].ends_strand = true;
+                    reasons.insert(
+                        InstrRef {
+                            block: id,
+                            index: i - 1,
+                        },
+                        EndReason::LongLatencyDep,
+                    );
+                }
+                pending.clear();
+            }
+
+            let at = InstrRef {
+                block: id,
+                index: i,
+            };
+            let instr = &mut block.instrs[i];
+            if instr.op.is_barrier() && opts.split_on_deschedule {
+                instr.ends_strand = true;
+                reasons.insert(at, EndReason::Barrier);
+                pending.clear();
+            }
+            if instr.op.is_branch() {
+                let target = instr.target.expect("validated branch");
+                if target <= id {
+                    instr.ends_strand = true;
+                    reasons.insert(at, EndReason::BackwardBranch);
+                    pending.clear();
+                }
+            }
+            if instr.op.is_exit() && instr.guard.is_none() {
+                instr.ends_strand = true;
+                reasons.insert(at, EndReason::KernelEnd);
+                pending.clear();
+            }
+            // Strong defs retire the old pending value; long-latency defs
+            // begin new pending events.
+            if instr.guard.is_none() {
+                let defs: Vec<_> = instr.def_regs().collect();
+                for r in defs {
+                    pending.remove(r);
+                }
+            }
+            if instr.op.is_long_latency() {
+                let defs: Vec<_> = instr.def_regs().collect();
+                for r in defs {
+                    pending.insert(r);
+                }
+            }
+        }
+        pending_out[bi] = Some(pending);
+    }
+
+    // Encode block-entry boundaries on every predecessor's terminator.
+    for bi in 0..n {
+        if !entry_boundary[bi] || !dom.is_reachable(BlockId::new(bi as u32)) {
+            continue;
+        }
+        // Also mark the layout-previous block's terminator even when it is
+        // not a CFG predecessor (it jumps elsewhere): without this, layout
+        // segmentation would glue the boundary block onto a disconnected
+        // earlier region. No path crosses that terminator into the boundary
+        // block, and the previous strand already ends at its jump, so the
+        // extra bit changes no runtime behaviour — it only keeps strands
+        // equal to the paper's definition.
+        let mut marks: Vec<BlockId> = preds[bi].clone();
+        if bi > 0 {
+            marks.push(BlockId::new(bi as u32 - 1));
+        }
+        for p in marks {
+            let pb = &mut kernel.blocks[p.index()];
+            let last = pb.instrs.len().checked_sub(1).expect("blocks are nonempty");
+            if !pb.instrs[last].ends_strand {
+                pb.instrs[last].ends_strand = true;
+                reasons.insert(
+                    InstrRef {
+                        block: p,
+                        index: last,
+                    },
+                    entry_reason[bi],
+                );
+            }
+        }
+    }
+
+    // Segment layout-ordered instructions into strands.
+    let mut strands: Vec<Strand> = Vec::new();
+    let mut instr_map: Vec<Vec<u32>> = kernel
+        .blocks
+        .iter()
+        .map(|b| vec![0; b.instrs.len()])
+        .collect();
+    let mut current: Vec<InstrRef> = Vec::new();
+    let close = |current: &mut Vec<InstrRef>, strands: &mut Vec<Strand>, reason: EndReason| {
+        if current.is_empty() {
+            return;
+        }
+        let id = StrandId(strands.len() as u32);
+        strands.push(Strand {
+            id,
+            instrs: std::mem::take(current),
+            end_reason: reason,
+        });
+    };
+    for b in &kernel.blocks {
+        for (i, instr) in b.instrs.iter().enumerate() {
+            let at = InstrRef {
+                block: b.id,
+                index: i,
+            };
+            current.push(at);
+            if instr.ends_strand {
+                let reason = reasons
+                    .get(&at)
+                    .copied()
+                    .unwrap_or(EndReason::UncertainJoin);
+                close(&mut current, &mut strands, reason);
+            }
+        }
+    }
+    close(&mut current, &mut strands, EndReason::KernelEnd);
+
+    for s in &strands {
+        for r in &s.instrs {
+            instr_map[r.block.index()][r.index] = s.id.0;
+        }
+    }
+
+    StrandInfo { strands, instr_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_isa::parse_kernel;
+
+    fn at(b: u32, i: usize) -> InstrRef {
+        InstrRef {
+            block: BlockId::new(b),
+            index: i,
+        }
+    }
+
+    #[test]
+    fn long_latency_dependence_splits_strand() {
+        // Figure 5a, Strand 1: ld.global then a consumer.
+        let mut k = parse_kernel(
+            "
+.kernel f5a
+BB0:
+  ld.global r1 r0
+  iadd r2 r0, 1
+  iadd r3 r1, 1
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        // Independent iadd stays in strand 1; the consumer of r1 starts
+        // strand 2.
+        assert!(k.blocks[0].instrs[1].ends_strand);
+        assert_eq!(info.strands.len(), 2);
+        assert_eq!(info.strands[0].end_reason, EndReason::LongLatencyDep);
+        assert!(info.strands[0].end_reason.deschedules());
+        assert_eq!(info.strand_of(at(0, 2)), StrandId(1));
+    }
+
+    #[test]
+    fn backward_branch_ends_strand_and_header_starts_one() {
+        let mut k = parse_kernel(
+            "
+.kernel lp
+BB0:
+  mov r0, 0
+BB1:
+  iadd r0 r0, 1
+  setp.lt p0 r0, 10
+  @p0 bra BB1
+BB2:
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        // BB0's terminator marked (BB1 is a loop header); the backward
+        // branch marked.
+        assert!(k.blocks[0].instrs[0].ends_strand);
+        assert!(k.blocks[1].instrs[2].ends_strand);
+        assert_eq!(info.strands.len(), 3);
+        assert_eq!(info.strands[0].end_reason, EndReason::LoopHeader);
+        assert_eq!(info.strands[1].end_reason, EndReason::BackwardBranch);
+        assert!(!info.strands[1].end_reason.deschedules());
+        // The loop body is exactly one strand.
+        assert_eq!(info.strand_of(at(1, 0)), info.strand_of(at(1, 2)));
+    }
+
+    #[test]
+    fn uncertain_join_inserts_endpoint() {
+        // Figure 5b: a long-latency load on only one side of a hammock;
+        // the merge block gets an endpoint.
+        let mut k = parse_kernel(
+            "
+.kernel f5b
+BB0:
+  setp.lt p0 r0, 1
+  @p0 bra BB2
+BB1:
+  ld.global r1 r0
+BB2:
+  iadd r2 r0, 1
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        // Both predecessors of BB2 end a strand.
+        assert!(k.blocks[0].instrs[1].ends_strand, "branch side marked");
+        assert!(k.blocks[1].instrs[0].ends_strand, "load side marked");
+        // BB2 begins a new strand.
+        let s2 = info.strand_of(at(2, 0));
+        assert_ne!(info.strand_of(at(0, 0)), s2);
+        assert_ne!(info.strand_of(at(1, 0)), s2);
+        assert!(info
+            .strands
+            .iter()
+            .any(|s| s.end_reason == EndReason::UncertainJoin));
+    }
+
+    #[test]
+    fn symmetric_pending_does_not_split() {
+        // Both sides issue the same long-latency load into r1: the join's
+        // pending sets agree, so no uncertain endpoint is inserted; the
+        // strand ends only at the consumer of r1.
+        let mut k = parse_kernel(
+            "
+.kernel sym
+BB0:
+  setp.lt p0 r0, 1
+  @p0 bra BB2
+BB1:
+  ld.global r1 r0
+  bra BB3
+BB2:
+  ld.global r1 r0
+BB3:
+  iadd r2 r0, 1
+  iadd r3 r1, 1
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        // BB3's first instruction continues the strand; the endpoint falls
+        // before the consumer of r1.
+        assert!(k.blocks[3].instrs[0].ends_strand);
+        assert_eq!(
+            info.strand_of(at(3, 0)),
+            info.strand_of(at(1, 0)),
+            "join continues the same strand"
+        );
+        assert!(!info
+            .strands
+            .iter()
+            .any(|s| s.end_reason == EndReason::UncertainJoin));
+    }
+
+    #[test]
+    fn barrier_ends_strand() {
+        let mut k = parse_kernel(
+            "
+.kernel b
+BB0:
+  st.shared r0, r1
+  bar
+  ld.shared r2 r0
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        assert!(k.blocks[0].instrs[1].ends_strand);
+        assert_eq!(info.strands[0].end_reason, EndReason::Barrier);
+        assert!(info.strands[0].end_reason.deschedules());
+    }
+
+    #[test]
+    fn overwritten_pending_value_is_retired() {
+        // The long-latency result in r1 is overwritten by a short op before
+        // any read: no strand split.
+        let mut k = parse_kernel(
+            "
+.kernel ow
+BB0:
+  ld.global r1 r0
+  mov r1, 5
+  iadd r2 r1, 1
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        assert_eq!(info.strands.len(), 1);
+    }
+
+    #[test]
+    fn strands_are_idempotent() {
+        let mut k = parse_kernel(
+            "
+.kernel i
+BB0:
+  ld.global r1 r0
+  iadd r2 r1, 1
+  exit
+",
+        )
+        .unwrap();
+        let a = mark_strands(&mut k);
+        let snapshot = k.clone();
+        let b = mark_strands(&mut k);
+        assert_eq!(k, snapshot);
+        assert_eq!(a.strands.len(), b.strands.len());
+    }
+
+    #[test]
+    fn strand_blocks_listing() {
+        let mut k = parse_kernel(
+            "
+.kernel sb
+BB0:
+  mov r0, 1
+BB1:
+  iadd r1 r0, 1
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        assert_eq!(info.strands.len(), 1);
+        assert_eq!(
+            info.strands[0].blocks(),
+            vec![BlockId::new(0), BlockId::new(1)]
+        );
+    }
+
+    #[test]
+    fn exit_closes_final_strand() {
+        let mut k = parse_kernel(".kernel e\nBB0:\n  exit\n").unwrap();
+        let info = mark_strands(&mut k);
+        assert_eq!(info.strands.len(), 1);
+        assert_eq!(info.strands[0].end_reason, EndReason::KernelEnd);
+    }
+}
+
+/// Maps every instruction to its strand index using the `ends_strand` bits
+/// already present on the kernel (set by [`mark_strands`]); returns
+/// `map[block][index] = strand`. Useful for per-strand accounting without
+/// recomputing the full analysis.
+pub fn segment_ids(kernel: &Kernel) -> Vec<Vec<u32>> {
+    let mut map: Vec<Vec<u32>> = kernel
+        .blocks
+        .iter()
+        .map(|b| vec![0; b.instrs.len()])
+        .collect();
+    let mut current = 0u32;
+    for (at, i) in kernel.iter_instrs() {
+        map[at.block.index()][at.index] = current;
+        if i.ends_strand {
+            current += 1;
+        }
+    }
+    map
+}
+
+/// Number of strands implied by the `ends_strand` bits (segments in layout
+/// order; a trailing unterminated run counts as one).
+pub fn segment_count(kernel: &Kernel) -> usize {
+    let ends: usize = kernel.iter_instrs().filter(|(_, i)| i.ends_strand).count();
+    let trailing = kernel
+        .blocks
+        .last()
+        .and_then(|b| b.instrs.last())
+        .map(|i| !i.ends_strand)
+        .unwrap_or(false);
+    ends + usize::from(trailing)
+}
+
+#[cfg(test)]
+mod segment_tests {
+    use super::*;
+    use rfh_isa::parse_kernel;
+
+    #[test]
+    fn segment_ids_match_strand_info() {
+        let mut k = parse_kernel(
+            "
+.kernel s
+BB0:
+  ld.global r1 r0
+  iadd r2 r1, 1
+  iadd r3 r2, 1
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        let ids = segment_ids(&k);
+        for (at, _) in k.iter_instrs() {
+            assert_eq!(
+                ids[at.block.index()][at.index],
+                info.strand_of(at).0,
+                "at {at}"
+            );
+        }
+        assert_eq!(segment_count(&k), info.strands.len());
+    }
+}
+
+#[cfg(test)]
+mod nested_loop_tests {
+    use super::*;
+    use rfh_isa::parse_kernel;
+
+    #[test]
+    fn nested_loops_partition_cleanly() {
+        let mut k = parse_kernel(
+            "
+.kernel nested
+BB0:
+  mov r0, 0
+BB1:
+  mov r1, 0
+BB2:
+  iadd r1 r1, 1
+  iadd r2 r1, r0
+  setp.lt p0 r1, 4
+  @p0 bra BB2
+BB3:
+  iadd r0 r0, 1
+  setp.lt p1 r0, 3
+  @p1 bra BB1
+BB4:
+  st.global r0, r2
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        // Both headers (BB1, BB2) start strands; both latches end them.
+        assert!(
+            k.blocks[0].instrs.last().unwrap().ends_strand,
+            "entry→outer header"
+        );
+        assert!(
+            k.blocks[1].instrs.last().unwrap().ends_strand,
+            "outer body→inner header"
+        );
+        assert!(
+            k.blocks[2].instrs.last().unwrap().ends_strand,
+            "inner latch"
+        );
+        assert!(
+            k.blocks[3].instrs.last().unwrap().ends_strand,
+            "outer latch"
+        );
+        // The inner body is one strand; no strand spans either backedge.
+        let inner = info.strand_of(rfh_isa::InstrRef {
+            block: BlockId::new(2),
+            index: 0,
+        });
+        assert_eq!(
+            info.strand(inner).blocks(),
+            vec![BlockId::new(2)],
+            "inner loop body is a self-contained strand"
+        );
+        for s in &info.strands {
+            let blocks = s.blocks();
+            for w in blocks.windows(2) {
+                assert!(w[1] > w[0], "strands never wrap backwards");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod disconnected_header_tests {
+    use super::*;
+    use rfh_isa::parse_kernel;
+
+    /// Regression (found in review): a loop header whose layout-previous
+    /// block is *not* a predecessor (it ends with an unconditional forward
+    /// branch) must still begin its own strand.
+    #[test]
+    fn loop_header_after_disconnected_block_starts_new_strand() {
+        let mut k = parse_kernel(
+            "
+.kernel dh
+BB0:
+  mov r0, 0
+  bra BB2
+BB1:
+  iadd r9 r9, 1
+  bra BB3
+BB2:
+  iadd r0 r0, 1
+  setp.lt p0 r0, 4
+  @p0 bra BB2
+BB3:
+  st.global r0, r0
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        // BB1 (reachable only as dead-ish side path? here BB1 is actually
+        // unreachable from entry, but it is layout-previous to BB2).
+        let header_strand = info.strand_of(InstrRef {
+            block: BlockId::new(2),
+            index: 0,
+        });
+        let prev_strand = info.strand_of(InstrRef {
+            block: BlockId::new(1),
+            index: 0,
+        });
+        assert_ne!(
+            header_strand, prev_strand,
+            "header must not be glued to BB1"
+        );
+        assert!(k.blocks[1].instrs.last().unwrap().ends_strand);
+        // Segmentation from bits agrees with StrandInfo.
+        let ids = segment_ids(&k);
+        for (at, _) in k.iter_instrs() {
+            assert_eq!(
+                ids[at.block.index()][at.index],
+                info.strand_of(at).0,
+                "{at}"
+            );
+        }
+    }
+}

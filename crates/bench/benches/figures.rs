@@ -1,0 +1,53 @@
+//! One criterion group per paper table/figure: measures the cost of
+//! regenerating each result (and, as a side effect, exercises the full
+//! pipeline under the benchmark runner).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rfh_bench::bench_subset;
+use rfh_experiments::{encoding, fig11, fig12, fig13, fig14, fig15, fig2, limit, perf, tables};
+
+fn bench_figures(c: &mut Criterion) {
+    let ws = bench_subset();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1_to_4", |b| {
+        b.iter(|| {
+            black_box(tables::table1(&ws));
+            black_box(tables::table2());
+            black_box(tables::table3());
+            black_box(tables::table4());
+        })
+    });
+    g.bench_function("fig2_usage_patterns", |b| b.iter(|| black_box(fig2::run())));
+    g.bench_function("fig11_two_level_breakdown", |b| {
+        b.iter(|| black_box(fig11::run(&ws)))
+    });
+    g.bench_function("fig12_three_level_breakdown", |b| {
+        b.iter(|| black_box(fig12::run(&ws)))
+    });
+    g.bench_function("fig13_energy_sweep", |b| {
+        b.iter(|| black_box(fig13::run(&ws)))
+    });
+    g.bench_function("fig14_energy_breakdown", |b| {
+        b.iter(|| black_box(fig14::run(&ws)))
+    });
+    g.bench_function("fig15_per_benchmark", |b| {
+        b.iter(|| black_box(fig15::run(&ws)))
+    });
+    g.bench_function("sec6_5_encoding", |b| {
+        b.iter(|| black_box(encoding::run(black_box(0.4))))
+    });
+    g.bench_function("sec6_perf_scheduler", |b| {
+        b.iter(|| black_box(perf::run(&ws, &[2, 8, 32])))
+    });
+    g.bench_function("sec7_limit_study", |b| {
+        b.iter(|| black_box(limit::run(&ws)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Component throughput benchmarks: per-pass compiler cost and simulator
+//! speed, measured on a representative kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rfh_alloc::{allocate, AllocConfig};
+use rfh_analysis::{liveness::annotate_dead, strand::mark_strands, DomTree, Liveness};
+use rfh_energy::EnergyModel;
+use rfh_sim::counts::SwCounter;
+use rfh_sim::exec::{execute, ExecMode};
+use rfh_sim::machine::MachineConfig;
+use rfh_sim::rfc::{HwCounter, RfcConfig};
+use rfh_sim::sink::NullSink;
+use rfh_sim::timing::{simulate_timing, TimingConfig, TraceCapture};
+
+fn kernel_under_test() -> rfh_workloads::Workload {
+    rfh_workloads::by_name("matrixmul").expect("known workload")
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let w = kernel_under_test();
+    let mut g = c.benchmark_group("compiler");
+    g.bench_function("dominators", |b| {
+        b.iter(|| black_box(DomTree::dominators(&w.kernel)))
+    });
+    g.bench_function("liveness", |b| {
+        b.iter(|| black_box(Liveness::compute(&w.kernel)))
+    });
+    g.bench_function("mark_strands", |b| {
+        b.iter_batched(
+            || w.kernel.clone(),
+            |mut k| black_box(mark_strands(&mut k)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("annotate_dead", |b| {
+        let lv = Liveness::compute(&w.kernel);
+        b.iter_batched(
+            || w.kernel.clone(),
+            |mut k| annotate_dead(&mut k, &lv),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("allocate_three_level", |b| {
+        let model = EnergyModel::paper();
+        b.iter_batched(
+            || w.kernel.clone(),
+            |mut k| black_box(allocate(&mut k, &AllocConfig::three_level(3, true), &model)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let w = kernel_under_test();
+    let model = EnergyModel::paper();
+    let mut warm = w.memory.clone();
+    let mut sink = NullSink;
+    let report = execute(
+        &w.kernel,
+        &w.launch,
+        &mut warm,
+        ExecMode::Baseline,
+        &mut [&mut sink],
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(report.warp_instructions));
+    g.bench_function("execute_baseline", |b| {
+        b.iter_batched(
+            || w.memory.clone(),
+            |mut mem| {
+                let mut sink = NullSink;
+                execute(
+                    &w.kernel,
+                    &w.launch,
+                    &mut mem,
+                    ExecMode::Baseline,
+                    &mut [&mut sink],
+                )
+                .unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("execute_hierarchy_counted", |b| {
+        let cfg = AllocConfig::three_level(3, true);
+        let mut kernel = w.kernel.clone();
+        allocate(&mut kernel, &cfg, &model);
+        b.iter_batched(
+            || w.memory.clone(),
+            |mut mem| {
+                let mut counter = SwCounter::default();
+                execute(
+                    &kernel,
+                    &w.launch,
+                    &mut mem,
+                    ExecMode::Hierarchy(cfg),
+                    &mut [&mut counter],
+                )
+                .unwrap();
+                counter.counts()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("execute_hw_rfc_counted", |b| {
+        let mut kernel = w.kernel.clone();
+        let lv = Liveness::compute(&kernel);
+        annotate_dead(&mut kernel, &lv);
+        b.iter_batched(
+            || w.memory.clone(),
+            |mut mem| {
+                let mut hw = HwCounter::new(RfcConfig::two_level(6), &kernel);
+                execute(
+                    &kernel,
+                    &w.launch,
+                    &mut mem,
+                    ExecMode::Baseline,
+                    &mut [&mut hw],
+                )
+                .unwrap();
+                hw.counts()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+
+    let machine = MachineConfig::paper();
+    let mut cap = TraceCapture::new(machine, w.launch.threads_per_cta);
+    let mut mem = w.memory.clone();
+    execute(
+        &w.kernel,
+        &w.launch,
+        &mut mem,
+        ExecMode::Baseline,
+        &mut [&mut cap],
+    )
+    .unwrap();
+    let mut g2 = c.benchmark_group("timing");
+    g2.bench_function("two_level_scheduler", |b| {
+        b.iter(|| {
+            black_box(simulate_timing(
+                &cap.traces,
+                &|x| cap.cta_of(x),
+                &TimingConfig::two_level(8),
+            ))
+        })
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_compiler, bench_simulator);
+criterion_main!(benches);

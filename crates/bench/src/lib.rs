@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # rfh-bench — criterion benchmark harness
+//!
+//! Two benchmark suites:
+//!
+//! * `benches/figures.rs` — regenerates each of the paper's tables and
+//!   figures end-to-end (on a reduced workload subset so a full criterion
+//!   run stays tractable); the numbers printed by `repro` come from the
+//!   same code paths.
+//! * `benches/pipeline.rs` — component throughput: analyses, allocation,
+//!   functional execution, cache models, and the timing simulator.
+
+use rfh_workloads::Workload;
+
+/// A small but representative workload subset used by the benches (one
+/// streaming, one loop/FMA, one divergent, one integer, one SFU-heavy).
+pub fn bench_subset() -> Vec<Workload> {
+    ["vectoradd", "scalarprod", "mandelbrot", "needle", "cp"]
+        .iter()
+        .map(|n| rfh_workloads::by_name(n).expect("known workload"))
+        .collect()
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # rfh-energy — register file hierarchy energy model
+//!
+//! Encodes the paper's energy model (§5.2, Tables 3 and 4):
+//!
+//! * the MRF is modeled as 128-bit wide, 1R1W SRAM banks (8 pJ read, 11 pJ
+//!   write per 128-bit access);
+//! * the ORF and LRF are 3R1W flip-flop arrays; the per-access energy of the
+//!   ORF grows with its size (Table 3, reproduced in
+//!   [`model::ORF_TABLE`]);
+//! * wire energy follows the methodology of the ExaScale study \[14\]:
+//!   300 fF/mm, 0.9 V, ≈1.9 pJ per 32 bits per mm, with the distances of
+//!   Table 4 (the ORF sits 5× closer to the private datapath than the MRF,
+//!   the LRF 20× closer).
+//!
+//! Access counts are tallied by the simulator into [`AccessCounts`] (in
+//! units of one 128-bit, 4-thread cluster access — the same unit at every
+//! level, so normalized results are unit-free), and [`EnergyModel::energy`]
+//! turns them into a per-level access/wire [`EnergyBreakdown`].
+//!
+//! ## Example
+//!
+//! ```
+//! use rfh_energy::{AccessCounts, EnergyModel};
+//!
+//! let model = EnergyModel::paper();
+//! let mut counts = AccessCounts::default();
+//! counts.mrf_read = 160;
+//! counts.mrf_write = 80;
+//! let baseline = model.energy(&counts, 3).total();
+//!
+//! // Move half the reads to a 3-entry ORF: energy drops.
+//! counts.mrf_read = 80;
+//! counts.orf_read_private = 80;
+//! assert!(model.energy(&counts, 3).total() < baseline);
+//! ```
+
+pub mod counts;
+pub mod model;
+
+pub use counts::{AccessCounts, EnergyBreakdown};
+pub use model::{EnergyModel, OrfAccessEnergy, WireModel, ORF_TABLE};

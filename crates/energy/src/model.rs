@@ -1,0 +1,227 @@
+//! The energy model parameters (paper §5.2, Tables 3 and 4).
+
+/// Read/write energy of one 128-bit access to an ORF of a given size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrfAccessEnergy {
+    /// Entries per thread this row applies to (1–8).
+    pub entries: usize,
+    /// Read energy in pJ.
+    pub read_pj: f64,
+    /// Write energy in pJ.
+    pub write_pj: f64,
+}
+
+/// Table 3: energy to access 128 bits from ORFs sized for 8 active warps,
+/// synthesized as 3R1W flip-flop arrays in a 40 nm library at 1 GHz, 0.9 V.
+pub const ORF_TABLE: [OrfAccessEnergy; 8] = [
+    OrfAccessEnergy {
+        entries: 1,
+        read_pj: 0.7,
+        write_pj: 2.0,
+    },
+    OrfAccessEnergy {
+        entries: 2,
+        read_pj: 1.2,
+        write_pj: 3.8,
+    },
+    OrfAccessEnergy {
+        entries: 3,
+        read_pj: 1.2,
+        write_pj: 4.4,
+    },
+    OrfAccessEnergy {
+        entries: 4,
+        read_pj: 1.9,
+        write_pj: 6.1,
+    },
+    OrfAccessEnergy {
+        entries: 5,
+        read_pj: 2.0,
+        write_pj: 6.0,
+    },
+    OrfAccessEnergy {
+        entries: 6,
+        read_pj: 2.0,
+        write_pj: 6.7,
+    },
+    OrfAccessEnergy {
+        entries: 7,
+        read_pj: 2.4,
+        write_pj: 7.7,
+    },
+    OrfAccessEnergy {
+        entries: 8,
+        read_pj: 3.4,
+        write_pj: 10.9,
+    },
+];
+
+/// The wire energy model of Table 4, following \[14\]: energy per mm for a
+/// 32-bit value is `activity × ½ C V² × 32` ≈ 1.9 pJ/mm at 300 fF/mm,
+/// 0.9 V, 50% activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Wire capacitance in fF per mm.
+    pub capacitance_ff_per_mm: f64,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Signalling activity factor (fraction of bits toggling).
+    pub activity: f64,
+}
+
+impl WireModel {
+    /// The paper's wire model: 300 fF/mm, 0.9 V, 0.5 activity
+    /// (≈ 1.9 pJ per 32 bits per mm).
+    pub const fn paper() -> Self {
+        WireModel {
+            capacitance_ff_per_mm: 300.0,
+            voltage: 0.9,
+            activity: 0.5,
+        }
+    }
+
+    /// Energy in pJ to move `bits` bits over `mm` millimetres.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfh_energy::WireModel;
+    /// let w = WireModel::paper();
+    /// let pj = w.energy_pj(32, 1.0);
+    /// assert!((pj - 1.9).abs() < 0.1, "paper quotes 1.9 pJ/mm for 32 bits");
+    /// ```
+    pub fn energy_pj(&self, bits: u32, mm: f64) -> f64 {
+        let cv2_fj_per_bit_mm = 0.5 * self.capacitance_ff_per_mm * self.voltage * self.voltage;
+        self.activity * cv2_fj_per_bit_mm * bits as f64 * mm / 1000.0
+    }
+}
+
+/// The full energy model: per-level access energies, wire distances, and
+/// the wire model.
+///
+/// All distances are in mm and match Table 4; access energies are per
+/// 128-bit (4-thread) access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// MRF read energy per 128-bit access (pJ).
+    pub mrf_read_pj: f64,
+    /// MRF write energy per 128-bit access (pJ).
+    pub mrf_write_pj: f64,
+    /// LRF read energy per 128-bit access (pJ); equals the 1-entry ORF row.
+    pub lrf_read_pj: f64,
+    /// LRF write energy per 128-bit access (pJ).
+    pub lrf_write_pj: f64,
+    /// ORF access energy by size (Table 3).
+    pub orf_table: Vec<OrfAccessEnergy>,
+    /// The wire energy model.
+    pub wire: WireModel,
+    /// Distance from the MRF to the private datapath (mm).
+    pub mrf_to_private_mm: f64,
+    /// Distance from the ORF to the private datapath (mm).
+    pub orf_to_private_mm: f64,
+    /// Distance from the LRF to the private datapath (mm).
+    pub lrf_to_private_mm: f64,
+    /// Distance from the MRF to the shared datapath (mm).
+    pub mrf_to_shared_mm: f64,
+    /// Distance from the ORF to the shared datapath (mm).
+    pub orf_to_shared_mm: f64,
+}
+
+impl EnergyModel {
+    /// The paper's model (Tables 3 and 4).
+    pub fn paper() -> Self {
+        EnergyModel {
+            mrf_read_pj: 8.0,
+            mrf_write_pj: 11.0,
+            lrf_read_pj: 0.7,
+            lrf_write_pj: 2.0,
+            orf_table: ORF_TABLE.to_vec(),
+            wire: WireModel::paper(),
+            mrf_to_private_mm: 1.0,
+            orf_to_private_mm: 0.2,
+            lrf_to_private_mm: 0.05,
+            mrf_to_shared_mm: 1.0,
+            orf_to_shared_mm: 0.4,
+        }
+    }
+
+    /// ORF access energy for a given size in entries per thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or larger than the table (8).
+    pub fn orf_access(&self, entries: usize) -> OrfAccessEnergy {
+        assert!(
+            entries >= 1 && entries <= self.orf_table.len(),
+            "ORF size out of range"
+        );
+        self.orf_table[entries - 1]
+    }
+
+    /// Wire energy of one 128-bit access over `mm` (4 × 32-bit words fanned
+    /// out to the 4 lanes of a cluster).
+    pub fn wire_128(&self, mm: f64) -> f64 {
+        self.wire.energy_pj(128, mm)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rows_are_monotonic_enough() {
+        // Energy generally grows with size; the paper's table has one
+        // non-monotonic read step (4→5 write), so check endpoints.
+        assert!(ORF_TABLE[7].read_pj > ORF_TABLE[0].read_pj);
+        assert!(ORF_TABLE[7].write_pj > ORF_TABLE[0].write_pj);
+        for (i, row) in ORF_TABLE.iter().enumerate() {
+            assert_eq!(row.entries, i + 1);
+            assert!(row.write_pj > row.read_pj, "writes cost more than reads");
+        }
+    }
+
+    #[test]
+    fn wire_model_matches_paper_quote() {
+        let w = WireModel::paper();
+        assert!((w.energy_pj(32, 1.0) - 1.9).abs() < 0.06);
+        // Scales linearly in bits and distance.
+        assert!((w.energy_pj(128, 0.5) - 4.0 * w.energy_pj(32, 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orf_access_lookup() {
+        let m = EnergyModel::paper();
+        assert_eq!(m.orf_access(3).read_pj, 1.2);
+        assert_eq!(m.orf_access(3).write_pj, 4.4);
+        assert_eq!(m.orf_access(8).write_pj, 10.9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn orf_access_out_of_range_panics() {
+        EnergyModel::paper().orf_access(9);
+    }
+
+    #[test]
+    fn lrf_matches_single_entry_orf() {
+        let m = EnergyModel::paper();
+        assert_eq!(m.lrf_read_pj, m.orf_access(1).read_pj);
+        assert_eq!(m.lrf_write_pj, m.orf_access(1).write_pj);
+    }
+
+    #[test]
+    fn wire_distance_ratios_match_paper() {
+        // "wire energy for the private datapath is reduced by a factor of 5
+        //  for ORF accesses and a factor of 20 for LRF accesses".
+        let m = EnergyModel::paper();
+        assert!((m.mrf_to_private_mm / m.orf_to_private_mm - 5.0).abs() < 1e-9);
+        assert!((m.mrf_to_private_mm / m.lrf_to_private_mm - 20.0).abs() < 1e-9);
+    }
+}

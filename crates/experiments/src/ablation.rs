@@ -1,0 +1,157 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Each row removes or swaps one mechanism of the best configuration
+//! (3-entry ORF, split LRF, partial ranges + read operands, Figure 7
+//! savings-per-slot priority) and reports the normalized energy:
+//!
+//! * the §4.3/§4.4 allocation optimizations, individually and together;
+//! * split vs unified vs no LRF (§3.2 / §6.3);
+//! * Figure 7's savings-per-occupied-slot priority vs raw savings;
+//! * the HW cache's allocation policy (write-allocate per §2.2 vs also
+//!   allocating read misses).
+
+use rfh_alloc::AllocConfig;
+use rfh_energy::{AccessCounts, EnergyModel};
+use rfh_sim::rfc::RfcConfig;
+use rfh_workloads::Workload;
+
+use crate::report::{norm, pct, Table};
+use crate::runner::{baseline_counts, hw_counts, mean, normalized_energy, sw_counts};
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// What was changed relative to the best configuration.
+    pub name: String,
+    /// Mean normalized energy across workloads.
+    pub energy: f64,
+}
+
+/// Runs the ablation matrix.
+///
+/// # Panics
+///
+/// Panics if any workload fails to execute or verify.
+pub fn run(workloads: &[Workload]) -> Vec<AblationRow> {
+    let model = EnergyModel::paper();
+    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
+    let best = AllocConfig::three_level(3, true);
+
+    let sw_variants: Vec<(&str, AllocConfig)> = vec![
+        ("best (split LRF, both opts, Fig.7 priority)", best),
+        (
+            "no partial ranges",
+            AllocConfig {
+                partial_ranges: false,
+                ..best
+            },
+        ),
+        (
+            "no read operands",
+            AllocConfig {
+                read_operands: false,
+                ..best
+            },
+        ),
+        (
+            "neither optimization",
+            AllocConfig {
+                partial_ranges: false,
+                read_operands: false,
+                ..best
+            },
+        ),
+        ("unified LRF", AllocConfig::three_level(3, false)),
+        ("no LRF (two-level)", AllocConfig::two_level(3)),
+        (
+            "raw-savings priority",
+            AllocConfig {
+                occupancy_priority: false,
+                ..best
+            },
+        ),
+    ];
+
+    let mut rows: Vec<AblationRow> = sw_variants
+        .into_iter()
+        .map(|(name, cfg)| {
+            let energies: Vec<f64> = workloads
+                .iter()
+                .zip(&bases)
+                .map(|(w, b)| {
+                    normalized_energy(&sw_counts(w, &cfg, &model), b, &model, cfg.orf_entries)
+                })
+                .collect();
+            AblationRow {
+                name: name.into(),
+                energy: mean(&energies),
+            }
+        })
+        .collect();
+
+    for (name, cfg) in [
+        ("HW RFC(6), write-allocate (§2.2)", RfcConfig::two_level(6)),
+        (
+            "HW RFC(6), also allocate read misses",
+            RfcConfig {
+                allocate_on_read_miss: true,
+                ..RfcConfig::two_level(6)
+            },
+        ),
+    ] {
+        let energies: Vec<f64> = workloads
+            .iter()
+            .zip(&bases)
+            .map(|(w, b)| normalized_energy(&hw_counts(w, &cfg), b, &model, 6))
+            .collect();
+        rows.push(AblationRow {
+            name: name.into(),
+            energy: mean(&energies),
+        });
+    }
+    rows
+}
+
+/// Renders the ablation table, with deltas against the best configuration.
+pub fn print(rows: &[AblationRow]) -> String {
+    let best = rows.first().map(|r| r.energy).unwrap_or(1.0);
+    let mut t = Table::new(&["variant", "normalized energy", "Δ vs best"]);
+    for r in rows {
+        t.row(&[r.name.clone(), norm(r.energy), pct(r.energy - best)]);
+    }
+    format!("Ablations of the best configuration\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removing_mechanisms_never_helps() {
+        let workloads: Vec<Workload> = ["matrixmul", "mandelbrot", "dct8x8", "cp", "needle"]
+            .iter()
+            .map(|n| rfh_workloads::by_name(n).unwrap())
+            .collect();
+        let rows = run(&workloads);
+        let best = rows[0].energy;
+        // Partial ranges can very slightly hurt (the §4.3 greedy
+        // sub-optimality the paper acknowledges); everything else must
+        // not beat the full design by more than noise.
+        for r in &rows[1..7] {
+            assert!(
+                r.energy >= best - 0.005,
+                "{} ({}) beat the full design ({best})",
+                r.name,
+                r.energy
+            );
+        }
+        // Read operands and the LRF are the load-bearing mechanisms.
+        let no_ro = rows
+            .iter()
+            .find(|r| r.name.contains("read operands"))
+            .unwrap();
+        assert!(no_ro.energy > best + 0.005);
+        let no_lrf = rows.iter().find(|r| r.name.contains("two-level")).unwrap();
+        assert!(no_lrf.energy > best + 0.01);
+    }
+}

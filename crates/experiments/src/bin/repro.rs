@@ -1,0 +1,148 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--csv <dir>] [experiment...]
+//!
+//! experiments:
+//!   table1 table2 table3 table4   the paper's input tables
+//!   fig2                          register value usage patterns
+//!   fig11                         two-level read/write breakdown
+//!   fig12                         three-level read/write breakdown
+//!   fig13                         normalized energy of the four designs
+//!   fig14                         energy breakdown of the best design
+//!   fig15                         per-benchmark energy
+//!   encoding                      §6.5 encoding overhead
+//!   perf                          two-level scheduler performance
+//!   limit                         §7 limit study
+//!   ablation                      design-choice ablations
+//!   characterize                  workload characterization table
+//!   all                           everything (default)
+//! ```
+
+use std::time::Instant;
+
+use rfh_experiments::{
+    ablation, characterize, encoding, fig11, fig12, fig13, fig14, fig15, fig2, limit, perf, tables,
+};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--csv <dir>` additionally writes each experiment's data as CSV.
+    let csv_dir: Option<String> = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--csv requires a directory");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        dir
+    });
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    let write_csv = |name: &str, contents: String| {
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{name}.csv");
+            std::fs::write(&path, contents).expect("write csv");
+            eprintln!("[wrote {path}]");
+        }
+    };
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "characterize",
+            "fig2",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "encoding",
+            "perf",
+            "limit",
+            "ablation",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let workloads = rfh_workloads::all();
+    for exp in wanted {
+        let start = Instant::now();
+        let output = match exp {
+            "table1" => tables::table1(&workloads),
+            "table2" => tables::table2(),
+            "table3" => tables::table3(),
+            "table4" => tables::table4(),
+            "fig2" => {
+                let r = fig2::run();
+                write_csv("fig2", rfh_experiments::csv::fig2_csv(&r));
+                fig2::print(&r)
+            }
+            "fig11" => {
+                let r = fig11::run(&workloads);
+                write_csv("fig11", rfh_experiments::csv::fig11_csv(&r));
+                fig11::print(&r)
+            }
+            "fig12" => {
+                let r = fig12::run(&workloads);
+                write_csv("fig12", rfh_experiments::csv::fig12_csv(&r));
+                fig12::print(&r)
+            }
+            "fig13" => {
+                let f = fig13::run(&workloads);
+                write_csv("fig13", rfh_experiments::csv::fig13_csv(&f));
+                let (split, unified) = fig13::split_vs_unified(&workloads, 3);
+                format!(
+                    "{}split vs unified LRF @3: {:.3} vs {:.3}\n",
+                    fig13::print(&f),
+                    split,
+                    unified
+                )
+            }
+            "fig14" => {
+                let r = fig14::run(&workloads);
+                write_csv("fig14", rfh_experiments::csv::fig14_csv(&r));
+                fig14::print(&r)
+            }
+            "fig15" => {
+                let r = fig15::run(&workloads);
+                write_csv("fig15", rfh_experiments::csv::fig15_csv(&r));
+                fig15::print(&r)
+            }
+            "encoding" => {
+                let f = fig13::run(&workloads);
+                let best = f.best(|p| p.sw_lrf_split).1;
+                encoding::print(&encoding::run(1.0 - best))
+            }
+            "perf" => {
+                let r = perf::run(&workloads, &[1, 2, 4, 6, 8, 16, 32]);
+                write_csv("perf", rfh_experiments::csv::perf_csv(&r));
+                perf::print(&r)
+            }
+            "limit" => {
+                let r = limit::run(&workloads);
+                write_csv("limit", rfh_experiments::csv::limit_csv(&r));
+                limit::print(&r)
+            }
+            "ablation" => {
+                let r = ablation::run(&workloads);
+                write_csv("ablation", rfh_experiments::csv::ablation_csv(&r));
+                ablation::print(&r)
+            }
+            "characterize" => {
+                let r = characterize::run(&workloads);
+                write_csv("characterize", rfh_experiments::csv::characterize_csv(&r));
+                characterize::print(&r)
+            }
+            other => {
+                eprintln!("unknown experiment `{other}` (try: repro all)");
+                std::process::exit(2);
+            }
+        };
+        println!("{output}");
+        eprintln!("[{exp} took {:.1}s]\n", start.elapsed().as_secs_f32());
+    }
+}

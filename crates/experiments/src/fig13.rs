@@ -1,0 +1,166 @@
+//! Figure 13: normalized register file access + wire energy for the four
+//! organizations — HW (RFC), HW LRF (3-level), SW (ORF), SW LRF Split —
+//! across 1–8 upper-level entries per thread.
+//!
+//! Paper §6.4 headlines: HW best ≈ 34% savings (3 entries), SW two-level ≈
+//! 45% (3 entries), HW LRF ≈ 41% (6 entries), SW LRF split ≈ 54% (3
+//! entries); the SW three-level design is the overall winner.
+
+use rfh_alloc::AllocConfig;
+use rfh_energy::{AccessCounts, EnergyModel};
+use rfh_sim::rfc::RfcConfig;
+use rfh_workloads::Workload;
+
+use crate::report::{norm, Table};
+use crate::runner::{baseline_counts, hw_counts, mean, normalized_energy, sw_counts};
+
+/// Normalized energies for one entry count.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyPoint {
+    /// Entries per thread.
+    pub entries: usize,
+    /// Hardware RFC (two-level).
+    pub hw: f64,
+    /// Hardware LRF + RFC (three-level).
+    pub hw_lrf: f64,
+    /// Software ORF (two-level, all optimizations).
+    pub sw: f64,
+    /// Software split-LRF + ORF (three-level).
+    pub sw_lrf_split: f64,
+}
+
+/// The figure data plus the best configuration per scheme.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// One point per entry count, 1–8.
+    pub points: Vec<EnergyPoint>,
+}
+
+impl Fig13 {
+    /// `(entries, normalized energy)` of the best point for a selector.
+    pub fn best(&self, f: impl Fn(&EnergyPoint) -> f64) -> (usize, f64) {
+        self.points
+            .iter()
+            .map(|p| (p.entries, f(p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+    }
+}
+
+/// Runs the energy sweep.
+///
+/// # Panics
+///
+/// Panics if any workload fails to execute or verify.
+pub fn run(workloads: &[Workload]) -> Fig13 {
+    let model = EnergyModel::paper();
+    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
+    let mut points = Vec::new();
+    for entries in 1..=8usize {
+        let mut cols = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for (w, b) in workloads.iter().zip(&bases) {
+            let hw = hw_counts(w, &RfcConfig::two_level(entries));
+            cols[0].push(normalized_energy(&hw, b, &model, entries));
+            let hw3 = hw_counts(w, &RfcConfig::three_level(entries));
+            cols[1].push(normalized_energy(&hw3, b, &model, entries));
+            let sw = sw_counts(w, &AllocConfig::two_level(entries), &model);
+            cols[2].push(normalized_energy(&sw, b, &model, entries));
+            let sw3 = sw_counts(w, &AllocConfig::three_level(entries, true), &model);
+            cols[3].push(normalized_energy(&sw3, b, &model, entries));
+        }
+        points.push(EnergyPoint {
+            entries,
+            hw: mean(&cols[0]),
+            hw_lrf: mean(&cols[1]),
+            sw: mean(&cols[2]),
+            sw_lrf_split: mean(&cols[3]),
+        });
+    }
+    Fig13 { points }
+}
+
+/// Also used by §6.4: the split-vs-unified LRF comparison at one size.
+///
+/// # Panics
+///
+/// Panics if any workload fails to execute or verify.
+pub fn split_vs_unified(workloads: &[Workload], entries: usize) -> (f64, f64) {
+    let model = EnergyModel::paper();
+    let mut split = Vec::new();
+    let mut unified = Vec::new();
+    for w in workloads {
+        let b = baseline_counts(w);
+        let s = sw_counts(w, &AllocConfig::three_level(entries, true), &model);
+        split.push(normalized_energy(&s, &b, &model, entries));
+        let u = sw_counts(w, &AllocConfig::three_level(entries, false), &model);
+        unified.push(normalized_energy(&u, &b, &model, entries));
+    }
+    (mean(&split), mean(&unified))
+}
+
+/// Renders the figure.
+pub fn print(f: &Fig13) -> String {
+    let mut t = Table::new(&["entries", "HW", "HW LRF", "SW", "SW LRF Split"]);
+    for p in &f.points {
+        t.row(&[
+            p.entries.to_string(),
+            norm(p.hw),
+            norm(p.hw_lrf),
+            norm(p.sw),
+            norm(p.sw_lrf_split),
+        ]);
+    }
+    let (he, hv) = f.best(|p| p.hw);
+    let (se, sv) = f.best(|p| p.sw);
+    let (h3e, h3v) = f.best(|p| p.hw_lrf);
+    let (s3e, s3v) = f.best(|p| p.sw_lrf_split);
+    format!(
+        "Figure 13 — normalized access+wire energy\n{}\nbest: HW {:.1}% @{he} | HW LRF {:.1}% @{h3e} | SW {:.1}% @{se} | SW LRF Split {:.1}% @{s3e} (savings)\n",
+        t.render(),
+        (1.0 - hv) * 100.0,
+        (1.0 - h3v) * 100.0,
+        (1.0 - sv) * 100.0,
+        (1.0 - s3v) * 100.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subset() -> Vec<Workload> {
+        ["vectoradd", "matrixmul", "nbody", "hotspot"]
+            .iter()
+            .map(|n| rfh_workloads::by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn orderings_match_the_paper() {
+        let f = run(&subset());
+        assert_eq!(f.points.len(), 8);
+        // At every size, SW beats HW and three levels beat two for SW.
+        for p in &f.points {
+            assert!(
+                p.sw < p.hw + 0.02,
+                "entries {}: SW {} vs HW {}",
+                p.entries,
+                p.sw,
+                p.hw
+            );
+            assert!(p.sw_lrf_split <= p.sw + 0.02);
+        }
+        // All schemes save energy at their best point.
+        assert!(f.best(|p| p.hw).1 < 1.0);
+        assert!(f.best(|p| p.sw_lrf_split).1 < f.best(|p| p.hw).1);
+    }
+
+    #[test]
+    fn split_lrf_not_worse_than_unified() {
+        let (split, unified) = split_vs_unified(&subset(), 3);
+        assert!(
+            split <= unified + 0.01,
+            "split {split} vs unified {unified}"
+        );
+    }
+}

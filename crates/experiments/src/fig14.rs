@@ -1,0 +1,119 @@
+//! Figure 14: energy breakdown (bank access vs wire, per level) of the
+//! most energy-efficient design — SW split-LRF — as the ORF size sweeps
+//! 1–8 entries, normalized to the single-level baseline.
+//!
+//! Paper §6.4: roughly two thirds of the remaining energy is MRF (split
+//! evenly between access and wire); the LRF, despite serving ~1/3 of
+//! reads, costs almost nothing; LRF wire is under 1% of baseline energy.
+
+use rfh_alloc::AllocConfig;
+use rfh_energy::{AccessCounts, EnergyBreakdown, EnergyModel};
+use rfh_workloads::Workload;
+
+use crate::report::{norm, Table};
+use crate::runner::{baseline_counts, mean, sw_counts};
+
+/// One stacked bar: normalized components at a given ORF size.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig14Point {
+    /// ORF entries per thread.
+    pub entries: usize,
+    /// The normalized breakdown (components sum to the normalized total).
+    pub breakdown: EnergyBreakdown,
+}
+
+/// Runs the breakdown sweep for the SW split-LRF design.
+///
+/// # Panics
+///
+/// Panics if any workload fails to execute or verify.
+pub fn run(workloads: &[Workload]) -> Vec<Fig14Point> {
+    let model = EnergyModel::paper();
+    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
+    (1..=8usize)
+        .map(|entries| {
+            let mut comps: Vec<EnergyBreakdown> = Vec::new();
+            for (w, b) in workloads.iter().zip(&bases) {
+                let c = sw_counts(w, &AllocConfig::three_level(entries, true), &model);
+                let base = model
+                    .baseline_energy(b.total_reads(), b.total_writes())
+                    .total();
+                comps.push(model.energy(&c, entries).normalized_to(base));
+            }
+            let avg = EnergyBreakdown {
+                mrf_access: mean(&comps.iter().map(|c| c.mrf_access).collect::<Vec<_>>()),
+                mrf_wire: mean(&comps.iter().map(|c| c.mrf_wire).collect::<Vec<_>>()),
+                orf_access: mean(&comps.iter().map(|c| c.orf_access).collect::<Vec<_>>()),
+                orf_wire: mean(&comps.iter().map(|c| c.orf_wire).collect::<Vec<_>>()),
+                lrf_access: mean(&comps.iter().map(|c| c.lrf_access).collect::<Vec<_>>()),
+                lrf_wire: mean(&comps.iter().map(|c| c.lrf_wire).collect::<Vec<_>>()),
+            };
+            Fig14Point {
+                entries,
+                breakdown: avg,
+            }
+        })
+        .collect()
+}
+
+/// Renders the stacked components.
+pub fn print(points: &[Fig14Point]) -> String {
+    let mut t = Table::new(&[
+        "entries",
+        "MRF wire",
+        "MRF access",
+        "ORF wire",
+        "ORF access",
+        "LRF wire",
+        "LRF access",
+        "total",
+    ]);
+    for p in points {
+        let b = p.breakdown;
+        t.row(&[
+            p.entries.to_string(),
+            norm(b.mrf_wire),
+            norm(b.mrf_access),
+            norm(b.orf_wire),
+            norm(b.orf_access),
+            norm(b.lrf_wire),
+            norm(b.lrf_access),
+            norm(b.total()),
+        ]);
+    }
+    format!(
+        "Figure 14 — energy breakdown of the SW split-LRF design\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subset() -> Vec<Workload> {
+        ["matrixmul", "nbody", "sad"]
+            .iter()
+            .map(|n| rfh_workloads::by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn mrf_dominates_and_lrf_wire_is_negligible() {
+        let points = run(&subset());
+        let p3 = &points[2];
+        let b = p3.breakdown;
+        let mrf = b.mrf_access + b.mrf_wire;
+        assert!(
+            mrf / b.total() > 0.4,
+            "MRF should dominate remaining energy: {} of {}",
+            mrf,
+            b.total()
+        );
+        assert!(
+            b.lrf_wire < 0.01,
+            "LRF wire under 1% of baseline (paper §6.4)"
+        );
+        assert!(b.total() < 1.0, "the design saves energy");
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 15: per-benchmark normalized energy of the most efficient
+//! configuration (3-entry ORF, split LRF, partial ranges + read operands),
+//! sorted by savings.
+//!
+//! Paper §6.4 singles out `Reduction` and `ScalarProd` as the weakest
+//! cases (25–30% savings): tight load/FMA loops whose frequent
+//! descheduling keeps invalidating the LRF/ORF.
+
+use rfh_alloc::AllocConfig;
+use rfh_energy::EnergyModel;
+use rfh_workloads::Workload;
+
+use crate::report::{norm, Table};
+use crate::runner::{baseline_counts, normalized_energy, sw_counts};
+
+/// One per-benchmark bar.
+#[derive(Debug, Clone)]
+pub struct BenchEnergy {
+    /// Workload name.
+    pub name: String,
+    /// Suite label.
+    pub suite: String,
+    /// Normalized energy (lower is better).
+    pub energy: f64,
+}
+
+/// Runs the best configuration on every workload.
+///
+/// # Panics
+///
+/// Panics if any workload fails to execute or verify.
+pub fn run(workloads: &[Workload]) -> Vec<BenchEnergy> {
+    let model = EnergyModel::paper();
+    let cfg = AllocConfig::three_level(3, true);
+    let mut rows: Vec<BenchEnergy> = workloads
+        .iter()
+        .map(|w| {
+            let b = baseline_counts(w);
+            let c = sw_counts(w, &cfg, &model);
+            BenchEnergy {
+                name: w.name.clone(),
+                suite: w.suite.to_string(),
+                energy: normalized_energy(&c, &b, &model, 3),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
+    rows
+}
+
+/// Renders the sorted bars.
+pub fn print(rows: &[BenchEnergy]) -> String {
+    let mut t = Table::new(&["benchmark", "suite", "normalized energy", "savings"]);
+    for r in rows {
+        t.row(&[
+            r.name.clone(),
+            r.suite.clone(),
+            norm(r.energy),
+            format!("{:.1}%", (1.0 - r.energy) * 100.0),
+        ]);
+    }
+    format!(
+        "Figure 15 — per-benchmark energy, best configuration\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_saves_energy_and_worst_cases_match() {
+        let rows = run(&rfh_workloads::all());
+        assert!(rows.len() >= 15);
+        for r in &rows {
+            assert!(
+                r.energy < 1.0,
+                "{} should save energy, got {}",
+                r.name,
+                r.energy
+            );
+        }
+        assert!(
+            rows.windows(2).all(|w| w[0].energy <= w[1].energy),
+            "sorted"
+        );
+        // The paper's weakest benchmarks sit in the worst third for us too.
+        let worst_third: Vec<&str> = rows[rows.len() * 2 / 3..]
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert!(
+            worst_third.contains(&"scalarprod") || worst_third.contains(&"reduction"),
+            "paper's worst cases should rank poorly, got {worst_third:?}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! §6 performance verification: the two-level warp scheduler loses no
+//! performance with 8 active warps.
+//!
+//! Captures each workload's dynamic trace once and replays it through the
+//! cycle-level scheduler with various active-set sizes, reporting runtime
+//! normalized to the single-level (all-warps-schedulable) baseline.
+
+use rfh_sim::exec::{execute_with, ExecMode};
+use rfh_sim::machine::MachineConfig;
+use rfh_sim::timing::{simulate_timing, TimingConfig, TraceCapture};
+use rfh_workloads::Workload;
+
+use crate::report::{norm, Table};
+use crate::runner::mean;
+
+/// Normalized runtime at one active-set size.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfPoint {
+    /// Active warps in the two-level scheduler.
+    pub active_warps: usize,
+    /// Mean runtime over workloads, normalized to the single-level
+    /// scheduler (1.0 = no slowdown).
+    pub normalized_runtime: f64,
+}
+
+/// Runs the scheduler sweep.
+///
+/// # Panics
+///
+/// Panics if any workload fails to execute.
+pub fn run(workloads: &[Workload], active_sizes: &[usize]) -> Vec<PerfPoint> {
+    let machine = MachineConfig::paper();
+    let captures: Vec<TraceCapture> = workloads
+        .iter()
+        .map(|w| {
+            let mut cap = TraceCapture::new(machine.clone(), w.launch.threads_per_cta);
+            let mut mem = w.memory.clone();
+            execute_with(
+                &w.kernel,
+                &w.launch,
+                &mut mem,
+                ExecMode::Baseline,
+                &machine,
+                &mut [&mut cap],
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            cap
+        })
+        .collect();
+    let baselines: Vec<u64> = captures
+        .iter()
+        .map(|c| simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::single_level()).cycles)
+        .collect();
+
+    active_sizes
+        .iter()
+        .map(|&a| {
+            let ratios: Vec<f64> = captures
+                .iter()
+                .zip(&baselines)
+                .map(|(c, b)| {
+                    let t =
+                        simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::two_level(a));
+                    t.cycles as f64 / *b as f64
+                })
+                .collect();
+            PerfPoint {
+                active_warps: a,
+                normalized_runtime: mean(&ratios),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn print(points: &[PerfPoint]) -> String {
+    let mut t = Table::new(&["active warps", "normalized runtime"]);
+    for p in points {
+        t.row(&[p.active_warps.to_string(), norm(p.normalized_runtime)]);
+    }
+    format!(
+        "Two-level scheduler performance (runtime / single-level baseline)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_active_warps_lose_no_performance() {
+        let workloads: Vec<Workload> = ["scalarprod", "matrixmul", "mandelbrot", "cp"]
+            .iter()
+            .map(|n| rfh_workloads::by_name(n).unwrap())
+            .collect();
+        let points = run(&workloads, &[2, 8]);
+        let at8 = points.iter().find(|p| p.active_warps == 8).unwrap();
+        assert!(
+            at8.normalized_runtime < 1.03,
+            "paper claims no penalty at 8 active warps, got {}",
+            at8.normalized_runtime
+        );
+        let at2 = points.iter().find(|p| p.active_warps == 2).unwrap();
+        assert!(at2.normalized_runtime >= at8.normalized_runtime - 1e-9);
+    }
+}

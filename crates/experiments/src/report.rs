@@ -1,0 +1,106 @@
+//! Fixed-width table rendering for experiment output.
+
+/// A simple fixed-width table printer.
+///
+/// # Examples
+///
+/// ```
+/// use rfh_experiments::report::Table;
+/// let mut t = Table::new(&["name", "value"]);
+/// t.row(&["alpha".into(), "1.00".into()]);
+/// let s = t.render();
+/// assert!(s.contains("alpha"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a normalized value with three decimals.
+pub fn norm(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = Table::new(&["a", "longheader"]);
+        t.row(&["xxxxxx".into(), "1".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("longheader"));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        Table::new(&["a"]).row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.543), "54.3%");
+        assert_eq!(norm(0.4567), "0.457");
+    }
+}

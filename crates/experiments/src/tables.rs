@@ -1,0 +1,146 @@
+//! Tables 1–4: the paper's inputs, printed for reference and regression.
+
+use rfh_energy::EnergyModel;
+use rfh_sim::machine::MachineConfig;
+use rfh_workloads::{Suite, Workload};
+
+use crate::report::Table;
+
+/// Table 1: benchmark suites and members.
+pub fn table1(workloads: &[Workload]) -> String {
+    let mut t = Table::new(&["suite", "benchmarks"]);
+    for suite in Suite::ALL {
+        let names: Vec<&str> = workloads
+            .iter()
+            .filter(|w| w.suite == suite)
+            .map(|w| w.name.as_str())
+            .collect();
+        t.row(&[suite.to_string(), names.join(", ")]);
+    }
+    format!("Table 1 — benchmarks\n{}", t.render())
+}
+
+/// Table 2: simulation parameters.
+pub fn table2() -> String {
+    let m = MachineConfig::paper();
+    let mut t = Table::new(&["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Execution model", "in-order".into()),
+        ("Execution width", format!("{} wide SIMT", m.warp_width)),
+        (
+            "Register file capacity",
+            format!("{} KB", m.register_file_bytes / 1024),
+        ),
+        (
+            "Register bank capacity",
+            format!("{} KB", m.register_bank_bytes / 1024),
+        ),
+        (
+            "Shared memory capacity",
+            format!("{} KB", m.shared_memory_bytes / 1024),
+        ),
+        ("ALU latency", format!("{} cycles", m.alu_latency)),
+        (
+            "Special function latency",
+            format!("{} cycles", m.sfu_latency),
+        ),
+        (
+            "Shared memory latency",
+            format!("{} cycles", m.shared_mem_latency),
+        ),
+        (
+            "Texture instruction latency",
+            format!("{} cycles", m.tex_latency),
+        ),
+        ("DRAM latency", format!("{} cycles", m.dram_latency)),
+    ];
+    for (k, v) in rows {
+        t.row(&[k.into(), v]);
+    }
+    format!("Table 2 — simulation parameters\n{}", t.render())
+}
+
+/// Table 3: ORF access energy by size.
+pub fn table3() -> String {
+    let m = EnergyModel::paper();
+    let mut t = Table::new(&["entries", "read (pJ)", "write (pJ)"]);
+    for row in &m.orf_table {
+        t.row(&[
+            row.entries.to_string(),
+            format!("{:.1}", row.read_pj),
+            format!("{:.1}", row.write_pj),
+        ]);
+    }
+    format!(
+        "Table 3 — ORF access energy (128-bit, 8 active warps)\n{}",
+        t.render()
+    )
+}
+
+/// Table 4: the remaining model parameters.
+pub fn table4() -> String {
+    let m = EnergyModel::paper();
+    let mut t = Table::new(&["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        (
+            "MRF read/write energy",
+            format!("{} / {} pJ", m.mrf_read_pj, m.mrf_write_pj),
+        ),
+        (
+            "LRF read/write energy",
+            format!("{} / {} pJ", m.lrf_read_pj, m.lrf_write_pj),
+        ),
+        (
+            "MRF distance to private",
+            format!("{} mm", m.mrf_to_private_mm),
+        ),
+        (
+            "ORF distance to private",
+            format!("{} mm", m.orf_to_private_mm),
+        ),
+        (
+            "LRF distance to private",
+            format!("{} mm", m.lrf_to_private_mm),
+        ),
+        (
+            "MRF distance to shared",
+            format!("{} mm", m.mrf_to_shared_mm),
+        ),
+        (
+            "ORF distance to shared",
+            format!("{} mm", m.orf_to_shared_mm),
+        ),
+        (
+            "Wire capacitance",
+            format!("{} fF/mm", m.wire.capacitance_ff_per_mm),
+        ),
+        ("Voltage", format!("{} V", m.wire.voltage)),
+        (
+            "Wire energy (32 bits)",
+            format!("{:.1} pJ/mm", m.wire.energy_pj(32, 1.0)),
+        ),
+    ];
+    for (k, v) in rows {
+        t.row(&[k.into(), v]);
+    }
+    format!("Table 4 — modeling parameters\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_expected_values() {
+        let t2 = table2();
+        assert!(t2.contains("128 KB"));
+        assert!(t2.contains("400 cycles"));
+        let t3 = table3();
+        assert!(t3.contains("10.9"));
+        let t4 = table4();
+        assert!(t4.contains("1.9 pJ/mm"));
+        let t1 = table1(&rfh_workloads::all());
+        assert!(t1.contains("Rodinia"));
+        assert!(t1.contains("vectoradd"));
+    }
+}

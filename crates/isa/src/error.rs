@@ -1,0 +1,53 @@
+//! Error types for kernel parsing and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing or validating a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// The textual assembly could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// The kernel structure is invalid.
+    Validate {
+        /// Location of the problem (block or instruction position).
+        at: String,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IsaError::Validate { at, msg } => write!(f, "invalid kernel at {at}: {msg}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = IsaError::Parse {
+            line: 3,
+            msg: "bad operand".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad operand");
+        let v = IsaError::Validate {
+            at: "BB1[2]".into(),
+            msg: "missing dst".into(),
+        };
+        assert!(v.to_string().contains("BB1[2]"));
+    }
+}

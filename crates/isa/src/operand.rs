@@ -1,0 +1,230 @@
+//! Instruction source operands and operand slots.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// A source operand of an instruction.
+///
+/// All values are 32-bit words; floating-point immediates are stored as
+/// their IEEE-754 bit pattern so that `Operand` can be `Eq` and `Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register read.
+    Reg(Reg),
+    /// A signed integer immediate (sign-extended / truncated to 32 bits at
+    /// execution).
+    Imm(i32),
+    /// A 32-bit float immediate, stored as its bit pattern.
+    FBits(u32),
+    /// A read-only special register (thread/CTA geometry). These live in a
+    /// tiny special register file outside the LRF/ORF/MRF hierarchy.
+    Special(Special),
+}
+
+impl Operand {
+    /// Constructs a float immediate operand.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfh_isa::Operand;
+    /// let half = Operand::f32(0.5);
+    /// assert_eq!(half.as_f32(), Some(0.5));
+    /// ```
+    pub fn f32(value: f32) -> Self {
+        Operand::FBits(value.to_bits())
+    }
+
+    /// Returns the float value if this is a float immediate.
+    pub fn as_f32(self) -> Option<f32> {
+        match self {
+            Operand::FBits(bits) => Some(f32::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns the register if this operand reads a general-purpose register.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand reads a general-purpose register (and therefore
+    /// accesses the register file hierarchy).
+    pub fn is_reg(self) -> bool {
+        matches!(self, Operand::Reg(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::FBits(bits) => write!(f, "{:?}f", f32::from_bits(*bits)),
+            Operand::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Read-only special registers (a subset of PTX's `%tid`, `%ctaid`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// Thread index within the CTA (x dimension).
+    TidX,
+    /// CTA index within the grid (x dimension).
+    CtaIdX,
+    /// Number of threads per CTA (x dimension).
+    NTidX,
+    /// Number of CTAs in the grid (x dimension).
+    NCtaIdX,
+    /// Lane index within the warp (0..32).
+    LaneId,
+    /// Warp index within the CTA.
+    WarpId,
+}
+
+impl Special {
+    /// All special registers, for enumeration in tests and parsers.
+    pub const ALL: [Special; 6] = [
+        Special::TidX,
+        Special::CtaIdX,
+        Special::NTidX,
+        Special::NCtaIdX,
+        Special::LaneId,
+        Special::WarpId,
+    ];
+
+    /// The assembly spelling, e.g. `%tid.x`.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Special::TidX => "%tid.x",
+            Special::CtaIdX => "%ctaid.x",
+            Special::NTidX => "%ntid.x",
+            Special::NCtaIdX => "%nctaid.x",
+            Special::LaneId => "%laneid",
+            Special::WarpId => "%warpid",
+        }
+    }
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// An operand slot: the position of a source operand within an instruction.
+///
+/// A fused multiply-add `d = a * b + c` reads its sources from slots A, B
+/// and C. The *split LRF* design (paper §3.2) gives each slot a private LRF
+/// bank, so the allocator must know which slot(s) read a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Slot {
+    /// First source operand.
+    A,
+    /// Second source operand.
+    B,
+    /// Third source operand.
+    C,
+}
+
+impl Slot {
+    /// All slots in order.
+    pub const ALL: [Slot; 3] = [Slot::A, Slot::B, Slot::C];
+
+    /// The slot for the `index`-th source operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`; instructions have at most three register
+    /// source operands.
+    pub fn from_index(index: usize) -> Self {
+        Slot::ALL[index]
+    }
+
+    /// The source-operand index of this slot (A → 0, B → 1, C → 2).
+    pub const fn index(self) -> usize {
+        match self {
+            Slot::A => 0,
+            Slot::B => 1,
+            Slot::C => 2,
+        }
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slot::A => write!(f, "A"),
+            Slot::B => write!(f, "B"),
+            Slot::C => write!(f, "C"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_immediates_round_trip() {
+        let op = Operand::f32(1.25);
+        assert_eq!(op.as_f32(), Some(1.25));
+        assert_eq!(Operand::Imm(3).as_f32(), None);
+    }
+
+    #[test]
+    fn reg_operand_accessors() {
+        let op: Operand = Reg::new(4).into();
+        assert!(op.is_reg());
+        assert_eq!(op.as_reg(), Some(Reg::new(4)));
+        assert!(!Operand::Imm(1).is_reg());
+        assert_eq!(Operand::Special(Special::TidX).as_reg(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand::Reg(Reg::new(2)).to_string(), "r2");
+        assert_eq!(Operand::Imm(-7).to_string(), "-7");
+        assert_eq!(Operand::Special(Special::TidX).to_string(), "%tid.x");
+        assert_eq!(Operand::f32(0.5).to_string(), "0.5f");
+    }
+
+    #[test]
+    fn slot_round_trips_through_index() {
+        for (i, slot) in Slot::ALL.iter().enumerate() {
+            assert_eq!(Slot::from_index(i), *slot);
+            assert_eq!(slot.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn slot_from_large_index_panics() {
+        let _ = Slot::from_index(3);
+    }
+
+    #[test]
+    fn special_mnemonics_are_unique() {
+        let mut names: Vec<_> = Special::ALL.iter().map(|s| s.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Special::ALL.len());
+    }
+}

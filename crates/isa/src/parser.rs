@@ -1,0 +1,413 @@
+//! Parser for the textual assembly format produced by
+//! [`crate::printer::print_kernel`].
+
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::kernel::{BasicBlock, BlockId, Kernel};
+use crate::opcode::{CmpOp, Opcode, SfuOp, Space};
+use crate::operand::{Operand, Special};
+use crate::reg::{PredReg, Reg};
+use crate::validate::validate;
+
+fn perr(line: usize, msg: impl Into<String>) -> IsaError {
+    IsaError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_opcode(m: &str) -> Option<Opcode> {
+    let simple = match m {
+        "iadd" => Some(Opcode::IAdd),
+        "isub" => Some(Opcode::ISub),
+        "imul" => Some(Opcode::IMul),
+        "imad" => Some(Opcode::IMad),
+        "imin" => Some(Opcode::IMin),
+        "imax" => Some(Opcode::IMax),
+        "and" => Some(Opcode::And),
+        "or" => Some(Opcode::Or),
+        "xor" => Some(Opcode::Xor),
+        "shl" => Some(Opcode::Shl),
+        "shr" => Some(Opcode::Shr),
+        "fadd" => Some(Opcode::FAdd),
+        "fsub" => Some(Opcode::FSub),
+        "fmul" => Some(Opcode::FMul),
+        "ffma" => Some(Opcode::FFma),
+        "fmin" => Some(Opcode::FMin),
+        "fmax" => Some(Opcode::FMax),
+        "mov" => Some(Opcode::Mov),
+        "sel" => Some(Opcode::Sel),
+        "i2f" => Some(Opcode::I2F),
+        "f2i" => Some(Opcode::F2I),
+        "tex" => Some(Opcode::Tex),
+        "bra" => Some(Opcode::Bra),
+        "bar" => Some(Opcode::Bar),
+        "exit" => Some(Opcode::Exit),
+        _ => None,
+    };
+    if simple.is_some() {
+        return simple;
+    }
+    for f in SfuOp::ALL {
+        if m == f.mnemonic() {
+            return Some(Opcode::Sfu(f));
+        }
+    }
+    if let Some(cmp) = m.strip_prefix("setp.") {
+        return CmpOp::ALL
+            .into_iter()
+            .find(|c| c.mnemonic() == cmp)
+            .map(Opcode::Setp);
+    }
+    if let Some(cmp) = m.strip_prefix("fsetp.") {
+        return CmpOp::ALL
+            .into_iter()
+            .find(|c| c.mnemonic() == cmp)
+            .map(Opcode::FSetp);
+    }
+    let space = |s: &str| match s {
+        "global" => Some(Space::Global),
+        "shared" => Some(Space::Shared),
+        "param" => Some(Space::Param),
+        "local" => Some(Space::Local),
+        _ => None,
+    };
+    if let Some(sp) = m.strip_prefix("ld.") {
+        return space(sp).map(Opcode::Ld);
+    }
+    if let Some(sp) = m.strip_prefix("st.") {
+        return space(sp).map(Opcode::St);
+    }
+    None
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, IsaError> {
+    tok.strip_prefix('r')
+        .and_then(|n| n.parse::<u16>().ok())
+        .map(Reg::new)
+        .ok_or_else(|| perr(line, format!("expected register, found `{tok}`")))
+}
+
+fn parse_pred(tok: &str, line: usize) -> Result<PredReg, IsaError> {
+    tok.strip_prefix('p')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(PredReg::new)
+        .ok_or_else(|| perr(line, format!("expected predicate register, found `{tok}`")))
+}
+
+fn parse_block_ref(tok: &str, line: usize) -> Result<BlockId, IsaError> {
+    tok.strip_prefix("BB")
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(BlockId::new)
+        .ok_or_else(|| perr(line, format!("expected block label, found `{tok}`")))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, IsaError> {
+    if let Some(rest) = tok.strip_prefix('r') {
+        if let Ok(n) = rest.parse::<u16>() {
+            return Ok(Operand::Reg(Reg::new(n)));
+        }
+    }
+    if tok.starts_with('%') {
+        return Special::ALL
+            .into_iter()
+            .find(|s| s.mnemonic() == tok)
+            .map(Operand::Special)
+            .ok_or_else(|| perr(line, format!("unknown special register `{tok}`")));
+    }
+    if let Some(float) = tok.strip_suffix('f') {
+        if let Ok(v) = float.parse::<f32>() {
+            return Ok(Operand::f32(v));
+        }
+    }
+    if let Ok(v) = tok.parse::<i32>() {
+        return Ok(Operand::Imm(v));
+    }
+    Err(perr(line, format!("cannot parse operand `{tok}`")))
+}
+
+fn parse_instruction(text: &str, line: usize) -> Result<Instruction, IsaError> {
+    // Split off comments; the strand-end marker is the comment `;end`.
+    let (code, comment) = match text.find(';') {
+        Some(pos) => (&text[..pos], Some(text[pos + 1..].trim())),
+        None => (text, None),
+    };
+    let ends_strand = comment.is_some_and(|c| c == "end" || c.starts_with("end "));
+
+    let mut tokens: Vec<&str> = code
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+        .collect();
+    if tokens.is_empty() {
+        return Err(perr(line, "empty instruction"));
+    }
+
+    // Optional guard.
+    let mut guard = None;
+    if let Some(g) = tokens[0].strip_prefix('@') {
+        let (neg, preg) = match g.strip_prefix('!') {
+            Some(p) => (true, p),
+            None => (false, g),
+        };
+        let reg = parse_pred(preg, line)?;
+        guard = Some((reg, neg));
+        tokens.remove(0);
+    }
+    if tokens.is_empty() {
+        return Err(perr(line, "guard without instruction"));
+    }
+
+    let op = parse_opcode(tokens[0])
+        .ok_or_else(|| perr(line, format!("unknown opcode `{}`", tokens[0])))?;
+    let mut rest = tokens[1..].iter();
+
+    let mut instr = Instruction::new(op);
+    if op.has_dst() {
+        let tok = rest
+            .next()
+            .ok_or_else(|| perr(line, "missing destination"))?;
+        if let Some(base) = tok.strip_suffix(".w64") {
+            instr = instr.with_dst64(parse_reg(base, line)?);
+        } else {
+            instr = instr.with_dst(parse_reg(tok, line)?);
+        }
+    }
+    if op.has_pdst() {
+        let tok = rest
+            .next()
+            .ok_or_else(|| perr(line, "missing destination predicate"))?;
+        instr = instr.with_pdst(parse_pred(tok, line)?);
+    }
+    for _ in 0..op.num_srcs() {
+        let tok = rest
+            .next()
+            .ok_or_else(|| perr(line, "missing source operand"))?;
+        instr = instr.with_src(parse_operand(tok, line)?);
+    }
+    if op.reads_pred_src() {
+        let tok = rest
+            .next()
+            .ok_or_else(|| perr(line, "missing source predicate"))?;
+        instr = instr.with_psrc(parse_pred(tok, line)?);
+    }
+    if op.is_branch() {
+        let tok = rest
+            .next()
+            .ok_or_else(|| perr(line, "missing branch target"))?;
+        instr = instr.with_target(parse_block_ref(tok, line)?);
+    }
+    if let Some(extra) = rest.next() {
+        return Err(perr(line, format!("unexpected trailing token `{extra}`")));
+    }
+    if let Some((reg, neg)) = guard {
+        instr = instr.guarded(reg, neg);
+    }
+    instr.ends_strand = ends_strand;
+    Ok(instr)
+}
+
+/// Parses a kernel from the textual assembly format.
+///
+/// The format is line oriented:
+///
+/// ```text
+/// .kernel <name>
+/// .params <count>        (optional)
+/// BB0:
+///   <instructions>
+/// BB1:
+///   ...
+/// ```
+///
+/// Block labels must appear in order (`BB0`, `BB1`, …). Comments start with
+/// `;`; the special comment `;end` marks a strand endpoint. The parsed
+/// kernel is validated before being returned.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Parse`] for malformed input and [`IsaError::Validate`]
+/// if the parsed kernel is structurally invalid.
+///
+/// # Examples
+///
+/// ```
+/// let text = "
+/// .kernel double
+/// BB0:
+///   mov r0, %tid.x
+///   iadd r1 r0, r0
+///   exit
+/// ";
+/// let k = rfh_isa::parse_kernel(text)?;
+/// assert_eq!(k.name, "double");
+/// assert_eq!(k.instr_count(), 3);
+/// # Ok::<(), rfh_isa::IsaError>(())
+/// ```
+pub fn parse_kernel(text: &str) -> Result<Kernel, IsaError> {
+    let mut kernel: Option<Kernel> = None;
+    let mut current: Option<usize> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Full-line comments (not the `;end` marker, which follows code).
+        if line.starts_with(';') || line.starts_with("//") {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix(".kernel") {
+            if kernel.is_some() {
+                return Err(perr(line_no, "duplicate .kernel directive"));
+            }
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(perr(line_no, "missing kernel name"));
+            }
+            kernel = Some(Kernel::new(name));
+            continue;
+        }
+        let k = kernel
+            .as_mut()
+            .ok_or_else(|| perr(line_no, "expected .kernel before content"))?;
+        if let Some(n) = line.strip_prefix(".params") {
+            k.num_params = n
+                .trim()
+                .parse()
+                .map_err(|_| perr(line_no, "malformed .params count"))?;
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let id = parse_block_ref(label.trim(), line_no)?;
+            if id.index() != k.blocks.len() {
+                return Err(perr(
+                    line_no,
+                    format!(
+                        "block label {id} out of order (expected BB{})",
+                        k.blocks.len()
+                    ),
+                ));
+            }
+            k.blocks.push(BasicBlock::new(id));
+            current = Some(id.index());
+            continue;
+        }
+        // An instruction line; an implicit BB0 is opened if none exists yet.
+        if current.is_none() {
+            if !k.blocks.is_empty() {
+                return Err(perr(line_no, "instruction outside any block"));
+            }
+            k.blocks.push(BasicBlock::new(BlockId::new(0)));
+            current = Some(0);
+        }
+        let instr = parse_instruction(line, line_no)?;
+        k.blocks[current.unwrap()].instrs.push(instr);
+    }
+
+    let kernel = kernel.ok_or_else(|| perr(text.lines().count(), "no .kernel directive"))?;
+    validate(&kernel)?;
+    Ok(kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_kernel;
+    use crate::{ops, KernelBuilder};
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let k = parse_kernel(".kernel k\nBB0:\n  exit\n").unwrap();
+        assert_eq!(k.name, "k");
+        assert_eq!(k.blocks.len(), 1);
+    }
+
+    #[test]
+    fn implicit_entry_block() {
+        let k = parse_kernel(".kernel k\n  exit\n").unwrap();
+        assert_eq!(k.blocks.len(), 1);
+    }
+
+    #[test]
+    fn parses_guards_and_strand_ends() {
+        let text = "
+.kernel g
+BB0:
+  setp.lt p0 r0, 5
+  @!p0 bra BB2
+BB1:
+  ld.global r1 r0 ;end
+BB2:
+  exit
+";
+        let k = parse_kernel(text).unwrap();
+        let bra = &k.blocks[0].instrs[1];
+        assert!(bra.guard.unwrap().negated);
+        assert_eq!(bra.target, Some(BlockId::new(2)));
+        assert!(k.blocks[1].instrs[0].ends_strand);
+    }
+
+    #[test]
+    fn parses_floats_and_specials() {
+        let text = ".kernel f\nBB0:\n  mov r0, %ctaid.x\n  fmul r1 r0, 2.5f\n  exit\n";
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.blocks[0].instrs[1].srcs[1], Operand::f32(2.5));
+        assert_eq!(
+            k.blocks[0].instrs[0].srcs[0],
+            Operand::Special(Special::CtaIdX)
+        );
+    }
+
+    #[test]
+    fn parses_wide_dst() {
+        let text = ".kernel w\nBB0:\n  ld.global r4.w64 r0\n  exit\n";
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.blocks[0].instrs[0].dst.unwrap().width, crate::Width::W64);
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let e = parse_kernel(".kernel k\nBB0:\n  frobnicate r0\n  exit\n").unwrap_err();
+        assert!(e.to_string().contains("unknown opcode"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_labels() {
+        let e = parse_kernel(".kernel k\nBB1:\n  exit\n").unwrap_err();
+        assert!(e.to_string().contains("out of order"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let e = parse_kernel(".kernel k\nBB0:\n  mov r0, 1, 2\n  exit\n").unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let mut b = KernelBuilder::new("rt");
+        let r = crate::Reg::new;
+        let p0 = crate::PredReg::new(0);
+        let loop_hdr = b.add_block();
+        let done = b.add_block();
+        b.switch_to(b.entry());
+        b.push(ops::mov(r(0), Operand::Special(Special::TidX)));
+        b.push(ops::ld_param(r(1), 0));
+        b.switch_to(loop_hdr);
+        b.push(ops::ld_global(r(2), r(0).into()));
+        let mut dep = ops::ffma(r(3), r(2).into(), r(1).into(), r(3).into());
+        dep.ends_strand = true;
+        b.push(dep);
+        b.push(ops::setp(CmpOp::Lt, p0, r(0).into(), 64.into()));
+        b.push(ops::bra_if(p0, false, loop_hdr));
+        b.switch_to(done);
+        b.push(ops::st_global(r(0).into(), r(3).into()));
+        b.push(ops::exit());
+        let k = b.finish();
+
+        let text = print_kernel(&k);
+        let parsed = parse_kernel(&text).unwrap();
+        assert_eq!(parsed, k);
+    }
+}

@@ -1,0 +1,168 @@
+//! Register names and value widths.
+
+use std::fmt;
+
+/// A general-purpose (architectural) register name, `r0`, `r1`, ….
+///
+/// Registers are 32 bits wide. A 64-bit value occupies the register pair
+/// `(rN, rN+1)`; see [`Width`]. The MRF provides up to 32 registers per
+/// thread in the baseline machine, but the IR itself places no upper bound —
+/// validation against a machine configuration happens in `rfh-sim`.
+///
+/// # Examples
+///
+/// ```
+/// use rfh_isa::Reg;
+/// let r5 = Reg::new(5);
+/// assert_eq!(r5.index(), 5);
+/// assert_eq!(r5.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u16);
+
+impl Reg {
+    /// Creates a register name from its index.
+    pub const fn new(index: u16) -> Self {
+        Reg(index)
+    }
+
+    /// The register's index within the per-thread register space.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// The second register of a 64-bit pair rooted at `self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfh_isa::Reg;
+    /// assert_eq!(Reg::new(4).pair_hi(), Reg::new(5));
+    /// ```
+    pub const fn pair_hi(self) -> Self {
+        Reg(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u16> for Reg {
+    fn from(index: u16) -> Self {
+        Reg(index)
+    }
+}
+
+/// A predicate register name, `p0`, `p1`, ….
+///
+/// Predicate registers hold one bit per thread and live in a separate
+/// predicate register file outside the LRF/ORF/MRF hierarchy (as on real
+/// GPUs); their accesses are excluded from register file energy accounting,
+/// matching the paper's scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredReg(u8);
+
+impl PredReg {
+    /// Creates a predicate register name from its index.
+    pub const fn new(index: u8) -> Self {
+        PredReg(index)
+    }
+
+    /// The predicate register's index.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u8> for PredReg {
+    fn from(index: u8) -> Self {
+        PredReg(index)
+    }
+}
+
+/// The width of a value produced by an instruction.
+///
+/// The paper (§3.2): values wider than 32 bits are stored across multiple
+/// 32-bit registers and the compiler allocates multiple LRF/ORF entries for
+/// them; 99.5% of instructions in the studied workloads operate on 32-bit
+/// values only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// A 32-bit value occupying a single register.
+    #[default]
+    W32,
+    /// A 64-bit value occupying the register pair `(rN, rN+1)`.
+    W64,
+}
+
+impl Width {
+    /// Number of 32-bit registers a value of this width occupies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfh_isa::Width;
+    /// assert_eq!(Width::W32.regs(), 1);
+    /// assert_eq!(Width::W64.regs(), 2);
+    /// ```
+    pub const fn regs(self) -> u16 {
+        match self {
+            Width::W32 => 1,
+            Width::W64 => 2,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Width::W32 => write!(f, "32"),
+            Width::W64 => write!(f, "64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg::new(0).to_string(), "r0");
+        assert_eq!(Reg::new(31).to_string(), "r31");
+        assert_eq!(Reg::new(31).index(), 31);
+    }
+
+    #[test]
+    fn reg_ordering_follows_index() {
+        assert!(Reg::new(3) < Reg::new(4));
+        assert_eq!(Reg::from(7u16), Reg::new(7));
+    }
+
+    #[test]
+    fn pair_hi_is_next_register() {
+        assert_eq!(Reg::new(10).pair_hi().index(), 11);
+    }
+
+    #[test]
+    fn pred_display() {
+        assert_eq!(PredReg::new(2).to_string(), "p2");
+        assert_eq!(PredReg::from(1u8).index(), 1);
+    }
+
+    #[test]
+    fn width_reg_counts() {
+        assert_eq!(Width::W32.regs(), 1);
+        assert_eq!(Width::W64.regs(), 2);
+        assert_eq!(Width::default(), Width::W32);
+    }
+}

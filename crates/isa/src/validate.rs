@@ -1,0 +1,228 @@
+//! Structural validation of kernels and instructions.
+
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::kernel::{BlockId, Kernel};
+use crate::opcode::Opcode;
+
+fn err(at: impl Into<String>, msg: impl Into<String>) -> IsaError {
+    IsaError::Validate {
+        at: at.into(),
+        msg: msg.into(),
+    }
+}
+
+/// Validates a single instruction's operand shape against its opcode.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Validate`] when destination/predicate/source operand
+/// presence or count does not match the opcode signature, or when the
+/// placement/liveness annotation vectors are not parallel to the sources.
+pub fn validate_instruction(i: &Instruction) -> Result<(), IsaError> {
+    let at = i.to_string();
+    if i.dst.is_some() != i.op.has_dst() {
+        return Err(err(
+            &at,
+            "destination register presence does not match opcode",
+        ));
+    }
+    if i.pdst.is_some() != i.op.has_pdst() {
+        return Err(err(
+            &at,
+            "destination predicate presence does not match opcode",
+        ));
+    }
+    if i.srcs.len() != i.op.num_srcs() {
+        return Err(err(
+            &at,
+            format!(
+                "expected {} source operands, found {}",
+                i.op.num_srcs(),
+                i.srcs.len()
+            ),
+        ));
+    }
+    if i.psrc.is_some() != i.op.reads_pred_src() {
+        return Err(err(&at, "source predicate presence does not match opcode"));
+    }
+    if i.target.is_some() != i.op.is_branch() {
+        return Err(err(&at, "branch target presence does not match opcode"));
+    }
+    if i.read_locs.len() != i.srcs.len() {
+        return Err(err(
+            &at,
+            "read placement annotations not parallel to sources",
+        ));
+    }
+    if i.dead_after.len() != i.srcs.len() {
+        return Err(err(&at, "liveness annotations not parallel to sources"));
+    }
+    Ok(())
+}
+
+/// Validates a kernel's structure.
+///
+/// Checks, beyond per-instruction shape:
+///
+/// * block ids equal their indices and there is at least one block;
+/// * control transfers (`bra`, unguarded `exit`) appear only as block
+///   terminators;
+/// * branch targets are in range;
+/// * no block falls through past the end of the kernel.
+///
+/// # Errors
+///
+/// Returns the first [`IsaError::Validate`] found.
+///
+/// # Examples
+///
+/// ```
+/// use rfh_isa::{KernelBuilder, ops, validate};
+/// let mut b = KernelBuilder::new("ok");
+/// b.push(ops::exit());
+/// assert!(validate(&b.finish()).is_ok());
+/// ```
+pub fn validate(kernel: &Kernel) -> Result<(), IsaError> {
+    if kernel.blocks.is_empty() {
+        return Err(err(&kernel.name, "kernel has no blocks"));
+    }
+    for (i, b) in kernel.blocks.iter().enumerate() {
+        if b.id != BlockId::new(i as u32) {
+            return Err(err(
+                format!("{}", b.id),
+                "block id does not match its index",
+            ));
+        }
+    }
+    let n_blocks = kernel.blocks.len();
+    for b in &kernel.blocks {
+        if b.instrs.is_empty() {
+            return Err(err(format!("{}", b.id), "block has no instructions"));
+        }
+        let last = b.instrs.len() - 1;
+        for (idx, ins) in b.instrs.iter().enumerate() {
+            validate_instruction(ins).map_err(|e| match e {
+                IsaError::Validate { at, msg } => err(format!("{}[{idx}]: {at}", b.id), msg),
+                other => other,
+            })?;
+            let is_terminator_op =
+                ins.op == Opcode::Bra || (ins.op == Opcode::Exit && ins.guard.is_none());
+            if is_terminator_op && idx != last {
+                return Err(err(
+                    format!("{}[{idx}]", b.id),
+                    "control transfer before end of block",
+                ));
+            }
+            if let Some(t) = ins.target {
+                if t.index() >= n_blocks {
+                    return Err(err(
+                        format!("{}[{idx}]", b.id),
+                        format!("branch target {t} out of range"),
+                    ));
+                }
+            }
+        }
+        // A block may not fall through past the end of the kernel.
+        let falls_through = match b.terminator() {
+            Some(t) if t.op == Opcode::Bra && t.guard.is_none() => false,
+            Some(t) if t.op == Opcode::Exit && t.guard.is_none() => false,
+            _ => true,
+        };
+        if falls_through && b.id.index() + 1 >= n_blocks {
+            return Err(err(
+                format!("{}", b.id),
+                "final block must end in exit or an unconditional branch",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::BasicBlock;
+    use crate::ops;
+    use crate::reg::Reg;
+
+    fn single_block(instrs: Vec<Instruction>) -> Kernel {
+        let mut k = Kernel::new("t");
+        let mut b = BasicBlock::new(BlockId::new(0));
+        b.instrs = instrs;
+        k.blocks.push(b);
+        k
+    }
+
+    #[test]
+    fn accepts_minimal_kernel() {
+        let k = single_block(vec![ops::exit()]);
+        assert!(validate(&k).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_kernel() {
+        let k = Kernel::new("empty");
+        assert!(validate(&k).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_block() {
+        let mut k = single_block(vec![ops::exit()]);
+        k.blocks.insert(0, BasicBlock::new(BlockId::new(0)));
+        k.blocks[1].id = BlockId::new(1);
+        let e = validate(&k).unwrap_err();
+        assert!(e.to_string().contains("no instructions"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let bad = Instruction::new(Opcode::IAdd)
+            .with_dst(Reg::new(0))
+            .with_src(1);
+        assert!(validate_instruction(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dst() {
+        let bad = Instruction::new(Opcode::IAdd).with_src(1).with_src(2);
+        assert!(validate_instruction(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_mid_block_branch() {
+        let k = single_block(vec![ops::bra(BlockId::new(0)), ops::exit()]);
+        let e = validate(&k).unwrap_err();
+        assert!(e.to_string().contains("control transfer"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let k = single_block(vec![ops::bra(BlockId::new(9))]);
+        assert!(validate(&k).is_err());
+    }
+
+    #[test]
+    fn rejects_fallthrough_off_end() {
+        let k = single_block(vec![ops::mov(Reg::new(0), 1.into())]);
+        let e = validate(&k).unwrap_err();
+        assert!(e.to_string().contains("final block"));
+    }
+
+    #[test]
+    fn guarded_exit_allowed_mid_block() {
+        let mut i = ops::exit();
+        i = i.guarded(crate::PredReg::new(0), false);
+        let k = single_block(vec![i, ops::exit()]);
+        assert!(validate(&k).is_ok());
+    }
+
+    #[test]
+    fn rejects_mismatched_block_id() {
+        let mut k = Kernel::new("t");
+        let mut b = BasicBlock::new(BlockId::new(5));
+        b.instrs.push(ops::exit());
+        k.blocks.push(b);
+        assert!(validate(&k).is_err());
+    }
+}

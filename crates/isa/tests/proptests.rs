@@ -1,0 +1,113 @@
+//! Property tests for the ISA layer: instruction construction, validation,
+//! and text round-tripping over randomly assembled instructions.
+
+use proptest::prelude::*;
+
+use rfh_isa::{ops, CmpOp, Operand, PredReg, Reg, SfuOp, Special};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u16..40).prop_map(Reg::new)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        (-100_000i32..100_000).prop_map(Operand::Imm),
+        // Finite floats that survive `{:?}` text round-tripping.
+        (-1000i32..1000).prop_map(|v| Operand::f32(v as f32 / 8.0)),
+        (0usize..6).prop_map(|i| Operand::Special(Special::ALL[i])),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = rfh_isa::Instruction> {
+    let binary =
+        (0usize..10, arb_reg(), arb_operand(), arb_operand()).prop_map(|(k, d, a, b)| match k {
+            0 => ops::iadd(d, a, b),
+            1 => ops::isub(d, a, b),
+            2 => ops::imul(d, a, b),
+            3 => ops::fadd(d, a, b),
+            4 => ops::fmul(d, a, b),
+            5 => ops::xor(d, a, b),
+            6 => ops::shl(d, a, b),
+            7 => ops::imin(d, a, b),
+            8 => ops::fmax(d, a, b),
+            _ => ops::fsub(d, a, b),
+        });
+    let ternary = (arb_reg(), arb_operand(), arb_operand(), arb_operand())
+        .prop_map(|(d, a, b, c)| ops::ffma(d, a, b, c));
+    let unary =
+        (0usize..7, arb_reg(), arb_operand()).prop_map(|(k, d, a)| ops::sfu(SfuOp::ALL[k], d, a));
+    let setp = (0usize..6, 0u8..4, arb_operand(), arb_operand())
+        .prop_map(|(c, p, a, b)| ops::setp(CmpOp::ALL[c], PredReg::new(p), a, b));
+    let sel = (arb_reg(), arb_operand(), arb_operand(), 0u8..4)
+        .prop_map(|(d, a, b, p)| ops::sel(d, a, b, PredReg::new(p)));
+    let mem = (0usize..3, arb_reg(), arb_operand()).prop_map(|(k, d, a)| match k {
+        0 => ops::ld_global(d, a),
+        1 => ops::ld_shared(d, a),
+        _ => ops::tex(d, a),
+    });
+    prop_oneof![binary, ternary, unary, setp, sel, mem]
+}
+
+fn with_guard(i: rfh_isa::Instruction, g: Option<(u8, bool)>) -> rfh_isa::Instruction {
+    match g {
+        Some((p, neg)) => i.guarded(PredReg::new(p), neg),
+        None => i,
+    }
+}
+
+proptest! {
+    /// Every constructed instruction is structurally valid.
+    #[test]
+    fn constructed_instructions_validate(i in arb_instruction(), g in proptest::option::of((0u8..4, any::<bool>()))) {
+        let i = with_guard(i, g);
+        rfh_isa::validate::validate_instruction(&i).unwrap();
+    }
+
+    /// Kernels of random instructions round-trip through text exactly,
+    /// including guards and strand-end bits.
+    #[test]
+    fn kernels_round_trip(
+        instrs in proptest::collection::vec(
+            (arb_instruction(), proptest::option::of((0u8..4, any::<bool>())), any::<bool>()),
+            1..40,
+        )
+    ) {
+        let mut b = rfh_isa::KernelBuilder::new("prop");
+        for (i, g, ends) in instrs {
+            let mut i = with_guard(i, g);
+            i.ends_strand = ends;
+            b.push(i);
+        }
+        b.push(ops::exit());
+        let kernel = b.finish();
+        rfh_isa::validate(&kernel).unwrap();
+        let text = rfh_isa::printer::print_kernel(&kernel);
+        let parsed = rfh_isa::parse_kernel(&text).unwrap();
+        prop_assert_eq!(parsed, kernel);
+    }
+
+    /// `num_regs`/`num_preds` bound every register the kernel mentions.
+    #[test]
+    fn register_counts_are_upper_bounds(instrs in proptest::collection::vec(arb_instruction(), 1..30)) {
+        let mut b = rfh_isa::KernelBuilder::new("bounds");
+        for i in instrs {
+            b.push(i);
+        }
+        b.push(ops::exit());
+        let kernel = b.finish();
+        let nr = kernel.num_regs();
+        let np = kernel.num_preds();
+        for (_, i) in kernel.iter_instrs() {
+            for r in i.def_regs() {
+                prop_assert!(r.index() < nr);
+            }
+            for (_, r) in i.reg_srcs() {
+                prop_assert!(r.index() < nr);
+            }
+            for p in i.pdst.into_iter().chain(i.psrc).chain(i.guard.map(|g| g.reg)) {
+                prop_assert!(p.index() < np);
+            }
+        }
+    }
+}

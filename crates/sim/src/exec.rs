@@ -1,0 +1,1361 @@
+//! The functional SIMT executor.
+//!
+//! Executes a kernel warp by warp with full predication and branch
+//! divergence (immediate-post-dominator reconvergence via a token stack),
+//! emitting an instruction trace to the registered [`TraceSink`]s.
+//!
+//! Two execution modes:
+//!
+//! * [`ExecMode::Baseline`] — all operands come from the architectural
+//!   register file (the MRF);
+//! * [`ExecMode::Hierarchy`] — operands move through modeled ORF/LRF
+//!   storage exactly as the placement annotations dictate, and the upper
+//!   levels are **poisoned at every strand boundary**. A kernel whose
+//!   placements are wrong (a read crossing a strand, a missing MRF copy, a
+//!   clobbered entry) computes wrong values and produces wrong memory
+//!   output, so comparing final memory against a baseline run is an
+//!   end-to-end proof of allocation correctness.
+
+use std::error::Error;
+use std::fmt;
+
+use rfh_alloc::{AllocConfig, LrfMode};
+use rfh_analysis::DomTree;
+use rfh_isa::{
+    CmpOp, InstrRef, Instruction, Kernel, Opcode, Operand, ReadLoc, SfuOp, Space, Special, Width,
+    WriteLoc,
+};
+
+use crate::machine::MachineConfig;
+use crate::mem::{GlobalMemory, SharedMemory};
+use crate::sink::{InstrEvent, TraceSink};
+
+/// A kernel launch: grid geometry, parameters, and shared memory size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Launch {
+    /// Number of CTAs (thread blocks).
+    pub ctas: usize,
+    /// Threads per CTA.
+    pub threads_per_cta: usize,
+    /// Kernel parameters, read by `ld.param`.
+    pub params: Vec<u32>,
+    /// Shared memory words allocated per CTA.
+    pub shared_words: usize,
+}
+
+impl Launch {
+    /// A launch with no parameters and the full 32 KB of shared memory.
+    pub fn new(ctas: usize, threads_per_cta: usize) -> Self {
+        Launch {
+            ctas,
+            threads_per_cta,
+            params: Vec::new(),
+            shared_words: 8192,
+        }
+    }
+
+    /// Sets the kernel parameters.
+    pub fn with_params(mut self, params: Vec<u32>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.ctas * self.threads_per_cta
+    }
+}
+
+/// How operand values flow during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// All operands served by the architectural register file.
+    Baseline,
+    /// Operands move through modeled ORF/LRF storage according to the
+    /// placement annotations produced under the given configuration.
+    Hierarchy(AllocConfig),
+}
+
+/// Aggregate execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Warp instructions issued.
+    pub warp_instructions: u64,
+    /// Thread instructions executed (warp instructions × executing threads).
+    pub thread_instructions: u64,
+    /// Warps executed.
+    pub warps: usize,
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A memory access fell outside the allocated space.
+    OutOfBounds {
+        /// Which space was accessed.
+        space: &'static str,
+        /// The offending word address.
+        addr: u32,
+        /// The instruction performing the access.
+        at: InstrRef,
+    },
+    /// A warp exceeded the instruction budget (probable infinite loop).
+    InstructionBudget {
+        /// The runaway warp.
+        warp: usize,
+    },
+    /// An unsupported instruction shape was executed.
+    Unsupported {
+        /// Description of the problem.
+        what: String,
+        /// Where it happened.
+        at: InstrRef,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { space, addr, at } => {
+                write!(f, "out-of-bounds {space} access at word {addr} ({at})")
+            }
+            ExecError::InstructionBudget { warp } => {
+                write!(
+                    f,
+                    "warp {warp} exceeded the instruction budget (infinite loop?)"
+                )
+            }
+            ExecError::Unsupported { what, at } => write!(f, "unsupported: {what} ({at})"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+type Pc = (u32, usize);
+
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    pc: Pc,
+    mask: u32,
+    reconv: Option<Pc>,
+}
+
+/// Per-warp architectural and hierarchy state.
+struct WarpState {
+    regs: Vec<Vec<u32>>,   // [reg][lane]
+    preds: Vec<Vec<bool>>, // [pred][lane]
+    orf: Vec<Vec<u32>>,    // [entry][lane]
+    lrf: Vec<Vec<u32>>,    // [bank][lane]
+}
+
+const POISON: u32 = 0xDEAD_BEE0;
+
+impl WarpState {
+    fn new(kernel: &Kernel, width: usize, mode: &ExecMode) -> WarpState {
+        let (orf_entries, lrf_banks) = match mode {
+            ExecMode::Baseline => (0, 0),
+            ExecMode::Hierarchy(cfg) => (
+                cfg.orf_entries,
+                match cfg.lrf {
+                    LrfMode::None => 0,
+                    LrfMode::Unified => 1,
+                    LrfMode::Split => 3,
+                },
+            ),
+        };
+        WarpState {
+            regs: vec![vec![0; width]; kernel.num_regs().max(1) as usize],
+            preds: vec![vec![false; width]; kernel.num_preds().max(1) as usize],
+            orf: vec![vec![POISON; width]; orf_entries],
+            lrf: vec![vec![POISON; width]; lrf_banks],
+        }
+    }
+
+    fn poison_upper(&mut self) {
+        for e in &mut self.orf {
+            e.fill(POISON);
+        }
+        for b in &mut self.lrf {
+            b.fill(POISON);
+        }
+    }
+}
+
+struct WarpContext<'a> {
+    kernel: &'a Kernel,
+    launch: &'a Launch,
+    mode: ExecMode,
+    warp: usize,
+    cta: usize,
+    warp_in_cta: usize,
+}
+
+impl WarpContext<'_> {
+    fn special(&self, s: Special, lane: usize) -> u32 {
+        match s {
+            Special::TidX => (self.warp_in_cta * 32 + lane) as u32,
+            Special::CtaIdX => self.cta as u32,
+            Special::NTidX => self.launch.threads_per_cta as u32,
+            Special::NCtaIdX => self.launch.ctas as u32,
+            Special::LaneId => lane as u32,
+            Special::WarpId => self.warp_in_cta as u32,
+        }
+    }
+
+    /// Reads one source operand for `lane`, honouring hierarchy placements.
+    fn read_operand(
+        &self,
+        state: &WarpState,
+        instr: &Instruction,
+        slot: usize,
+        lane: usize,
+    ) -> u32 {
+        match instr.srcs[slot] {
+            Operand::Imm(v) => v as u32,
+            Operand::FBits(bits) => bits,
+            Operand::Special(s) => self.special(s, lane),
+            Operand::Reg(r) => match self.mode {
+                ExecMode::Baseline => state.regs[r.index() as usize][lane],
+                ExecMode::Hierarchy(_) => match instr.read_locs[slot] {
+                    ReadLoc::Mrf | ReadLoc::MrfFillOrf(_) => state.regs[r.index() as usize][lane],
+                    ReadLoc::Orf(e) => state.orf[e as usize][lane],
+                    ReadLoc::Lrf(bank) => {
+                        let b = bank.map(|s| s.index()).unwrap_or(0);
+                        state.lrf[b][lane]
+                    }
+                },
+            },
+        }
+    }
+
+    /// Writes the destination for `lane`, honouring hierarchy placements.
+    fn write_dst(&self, state: &mut WarpState, instr: &Instruction, lane: usize, lo: u32, hi: u32) {
+        let dst = instr.dst.expect("write_dst requires a destination");
+        let wide = dst.width == Width::W64;
+        let r = dst.reg.index() as usize;
+        let write_mrf = |state: &mut WarpState| {
+            state.regs[r][lane] = lo;
+            if wide {
+                state.regs[r + 1][lane] = hi;
+            }
+        };
+        match (self.mode, instr.write_loc) {
+            (ExecMode::Baseline, _) | (_, WriteLoc::Mrf) => write_mrf(state),
+            (ExecMode::Hierarchy(_), WriteLoc::Orf { entry, also_mrf }) => {
+                state.orf[entry as usize][lane] = lo;
+                if wide {
+                    state.orf[entry as usize + 1][lane] = hi;
+                }
+                if also_mrf {
+                    write_mrf(state);
+                }
+            }
+            (ExecMode::Hierarchy(_), WriteLoc::Lrf { bank, also_mrf }) => {
+                let b = bank.map(|s| s.index()).unwrap_or(0);
+                state.lrf[b][lane] = lo;
+                if also_mrf {
+                    write_mrf(state);
+                }
+            }
+        }
+    }
+}
+
+fn eval_alu(op: Opcode, a: u32, b: u32, c: u32) -> u32 {
+    let (ia, ib, ic) = (a as i32, b as i32, c as i32);
+    let (fa, fb, fc) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
+    match op {
+        Opcode::IAdd => ia.wrapping_add(ib) as u32,
+        Opcode::ISub => ia.wrapping_sub(ib) as u32,
+        Opcode::IMul => ia.wrapping_mul(ib) as u32,
+        Opcode::IMad => ia.wrapping_mul(ib).wrapping_add(ic) as u32,
+        Opcode::IMin => ia.min(ib) as u32,
+        Opcode::IMax => ia.max(ib) as u32,
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => a.wrapping_shl(b & 31),
+        Opcode::Shr => a.wrapping_shr(b & 31),
+        Opcode::FAdd => (fa + fb).to_bits(),
+        Opcode::FSub => (fa - fb).to_bits(),
+        Opcode::FMul => (fa * fb).to_bits(),
+        Opcode::FFma => fa.mul_add(fb, fc).to_bits(),
+        Opcode::FMin => fa.min(fb).to_bits(),
+        Opcode::FMax => fa.max(fb).to_bits(),
+        Opcode::Mov => a,
+        Opcode::I2F => (ia as f32).to_bits(),
+        Opcode::F2I => {
+            if fa.is_nan() {
+                0
+            } else {
+                (fa as i32) as u32
+            }
+        }
+        Opcode::Sfu(f) => {
+            let v = match f {
+                SfuOp::Rcp => 1.0 / fa,
+                SfuOp::Rsqrt => 1.0 / fa.sqrt(),
+                SfuOp::Sqrt => fa.sqrt(),
+                SfuOp::Sin => fa.sin(),
+                SfuOp::Cos => fa.cos(),
+                SfuOp::Ex2 => fa.exp2(),
+                SfuOp::Lg2 => fa.log2(),
+            };
+            v.to_bits()
+        }
+        _ => unreachable!("eval_alu called for {op}"),
+    }
+}
+
+fn eval_cmp(cmp: CmpOp, float: bool, a: u32, b: u32) -> bool {
+    if float {
+        let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+        match cmp {
+            CmpOp::Eq => fa == fb,
+            CmpOp::Ne => fa != fb,
+            CmpOp::Lt => fa < fb,
+            CmpOp::Le => fa <= fb,
+            CmpOp::Gt => fa > fb,
+            CmpOp::Ge => fa >= fb,
+        }
+    } else {
+        let (ia, ib) = (a as i32, b as i32);
+        match cmp {
+            CmpOp::Eq => ia == ib,
+            CmpOp::Ne => ia != ib,
+            CmpOp::Lt => ia < ib,
+            CmpOp::Le => ia <= ib,
+            CmpOp::Gt => ia > ib,
+            CmpOp::Ge => ia >= ib,
+        }
+    }
+}
+
+fn normalize(kernel: &Kernel, pc: Pc) -> Pc {
+    let (mut b, mut i) = pc;
+    while (b as usize) < kernel.blocks.len() && i >= kernel.blocks[b as usize].instrs.len() {
+        b += 1;
+        i = 0;
+    }
+    (b, i)
+}
+
+/// Executes a kernel launch, streaming the instruction trace to `sinks`.
+///
+/// Execution is *barrier phased*: within a CTA, every warp runs until its
+/// next `bar` (or exit) before any warp proceeds past that barrier, which
+/// gives `bar` its synchronization semantics for the standard
+/// produce-barrier-consume idiom. Register file access counts are
+/// interleaving-independent (software placements are static and the
+/// hardware-cache models track per-warp state), so this ordering is
+/// equivalent to any fair schedule. Timing questions are answered by
+/// [`crate::timing`] instead.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] on out-of-bounds memory accesses, runaway
+/// loops, or unsupported instruction shapes.
+pub fn execute(
+    kernel: &Kernel,
+    launch: &Launch,
+    memory: &mut GlobalMemory,
+    mode: ExecMode,
+    sinks: &mut [&mut dyn TraceSink],
+) -> Result<ExecReport, ExecError> {
+    let machine = MachineConfig::paper();
+    execute_with(kernel, launch, memory, mode, &machine, sinks)
+}
+
+/// [`execute`] with an explicit machine configuration.
+///
+/// # Errors
+///
+/// As for [`execute`].
+pub fn execute_with(
+    kernel: &Kernel,
+    launch: &Launch,
+    memory: &mut GlobalMemory,
+    mode: ExecMode,
+    machine: &MachineConfig,
+    sinks: &mut [&mut dyn TraceSink],
+) -> Result<ExecReport, ExecError> {
+    rfh_isa::validate(kernel).map_err(|e| ExecError::Unsupported {
+        what: format!("invalid kernel: {e}"),
+        at: InstrRef {
+            block: rfh_isa::BlockId::new(0),
+            index: 0,
+        },
+    })?;
+    let ipdom = DomTree::post_dominators(kernel);
+    let warps_per_cta = launch.threads_per_cta.div_ceil(machine.warp_width);
+    let mut shared: Vec<SharedMemory> = (0..launch.ctas)
+        .map(|_| SharedMemory::new(launch.shared_words))
+        .collect();
+    let mut report = ExecReport::default();
+
+    for (cta, cta_shared) in shared.iter_mut().enumerate() {
+        // Barrier-phased execution of the CTA's warps.
+        let mut runs: Vec<WarpRun> = (0..warps_per_cta)
+            .map(|warp_in_cta| {
+                let lanes = (launch.threads_per_cta - warp_in_cta * machine.warp_width)
+                    .min(machine.warp_width);
+                let full_mask: u32 = if lanes == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << lanes) - 1
+                };
+                WarpRun {
+                    warp_in_cta,
+                    lanes,
+                    state: WarpState::new(kernel, machine.warp_width, &mode),
+                    stack: vec![Token {
+                        pc: (0, 0),
+                        mask: full_mask,
+                        reconv: None,
+                    }],
+                    exited: 0,
+                    steps: 0,
+                    done: false,
+                }
+            })
+            .collect();
+        while runs.iter().any(|r| !r.done) {
+            for run in runs.iter_mut() {
+                if run.done {
+                    continue;
+                }
+                let warp = cta * warps_per_cta + run.warp_in_cta;
+                let ctx = WarpContext {
+                    kernel,
+                    launch,
+                    mode,
+                    warp,
+                    cta,
+                    warp_in_cta: run.warp_in_cta,
+                };
+                let outcome = run_warp_until(
+                    &ctx,
+                    run,
+                    memory,
+                    cta_shared,
+                    &ipdom,
+                    machine,
+                    sinks,
+                    &mut report,
+                )?;
+                if outcome == Phase::Done {
+                    run.done = true;
+                    for s in sinks.iter_mut() {
+                        s.on_warp_done(warp);
+                    }
+                    report.warps += 1;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Why a warp yielded back to the CTA scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// The warp executed a barrier and waits for its CTA.
+    Barrier,
+    /// The warp has no more work.
+    Done,
+}
+
+/// Resumable per-warp execution state.
+struct WarpRun {
+    warp_in_cta: usize,
+    lanes: usize,
+    state: WarpState,
+    stack: Vec<Token>,
+    exited: u32,
+    steps: u64,
+    done: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_warp_until(
+    ctx: &WarpContext<'_>,
+    run: &mut WarpRun,
+    memory: &mut GlobalMemory,
+    shared: &mut SharedMemory,
+    ipdom: &DomTree,
+    machine: &MachineConfig,
+    sinks: &mut [&mut dyn TraceSink],
+    report: &mut ExecReport,
+) -> Result<Phase, ExecError> {
+    let kernel = ctx.kernel;
+    let lanes = run.lanes;
+    let state = &mut run.state;
+    let stack = &mut run.stack;
+
+    while let Some(tok) = stack.last_mut() {
+        let mask = tok.mask & !run.exited;
+        if mask == 0 || Some(tok.pc) == tok.reconv {
+            stack.pop();
+            continue;
+        }
+        let (block, index) = tok.pc;
+        let at = InstrRef {
+            block: rfh_isa::BlockId::new(block),
+            index,
+        };
+        let instr = &kernel.blocks[block as usize].instrs[index];
+        run.steps += 1;
+        if run.steps > machine.max_warp_instructions {
+            return Err(ExecError::InstructionBudget { warp: ctx.warp });
+        }
+
+        // Evaluate the guard.
+        let exec_mask = match instr.guard {
+            None => mask,
+            Some(g) => {
+                let mut m = 0u32;
+                for lane in 0..lanes {
+                    if mask & (1 << lane) != 0 {
+                        let p = state.preds[g.reg.index() as usize][lane];
+                        if p != g.negated {
+                            m |= 1 << lane;
+                        }
+                    }
+                }
+                m
+            }
+        };
+
+        for s in sinks.iter_mut() {
+            s.on_instr(&InstrEvent {
+                warp: ctx.warp,
+                at,
+                instr,
+                active_mask: mask,
+                exec_mask,
+            });
+        }
+        report.warp_instructions += 1;
+        report.thread_instructions += exec_mask.count_ones() as u64;
+
+        match instr.op {
+            Opcode::Bra => {
+                let target: Pc = (instr.target.expect("validated").index() as u32, 0);
+                let fall = normalize(kernel, (block, index + 1));
+                let taken = exec_mask;
+                let not_taken = mask & !taken;
+                if not_taken == 0 {
+                    tok.pc = target;
+                } else if taken == 0 {
+                    tok.pc = fall;
+                } else {
+                    let reconv = ipdom
+                        .idom(rfh_isa::BlockId::new(block))
+                        .map(|b| (b.index() as u32, 0usize));
+                    match reconv {
+                        Some(r) => {
+                            tok.pc = r;
+                            let tok_reconv = Some(r);
+                            stack.push(Token {
+                                pc: fall,
+                                mask: not_taken,
+                                reconv: tok_reconv,
+                            });
+                            stack.push(Token {
+                                pc: target,
+                                mask: taken,
+                                reconv: tok_reconv,
+                            });
+                        }
+                        None => {
+                            // Paths never rejoin: run each side to exit.
+                            tok.mask = 0;
+                            stack.push(Token {
+                                pc: fall,
+                                mask: not_taken,
+                                reconv: None,
+                            });
+                            stack.push(Token {
+                                pc: target,
+                                mask: taken,
+                                reconv: None,
+                            });
+                        }
+                    }
+                }
+                continue;
+            }
+            Opcode::Exit => {
+                run.exited |= exec_mask;
+                if instr.guard.is_none() {
+                    stack.pop();
+                } else {
+                    tok.pc = normalize(kernel, (block, index + 1));
+                }
+                continue;
+            }
+            Opcode::Bar => {
+                // Yield to the CTA scheduler: every warp of the CTA reaches
+                // this barrier before any proceeds past it.
+                if matches!(ctx.mode, ExecMode::Hierarchy(_)) && instr.ends_strand {
+                    state.poison_upper();
+                }
+                tok.pc = normalize(kernel, (block, index + 1));
+                return Ok(Phase::Barrier);
+            }
+            Opcode::St(space) => {
+                for lane in 0..lanes {
+                    if exec_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let addr = ctx.read_operand(state, instr, 0, lane);
+                    let value = ctx.read_operand(state, instr, 1, lane);
+                    let ok = match space {
+                        Space::Global => memory.store(addr, value),
+                        Space::Shared => shared.store(addr, value),
+                        Space::Local => {
+                            // Local memory is modeled as a private slice of
+                            // global memory addressed by (thread, addr);
+                            // workloads use small offsets.
+                            memory.store(addr, value)
+                        }
+                        Space::Param => false,
+                    };
+                    if !ok {
+                        return Err(ExecError::OutOfBounds {
+                            space: space.mnemonic(),
+                            addr,
+                            at,
+                        });
+                    }
+                }
+            }
+            Opcode::Ld(space) => {
+                let wide = instr.dst.map(|d| d.width == Width::W64).unwrap_or(false);
+                for lane in 0..lanes {
+                    if exec_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let addr = ctx.read_operand(state, instr, 0, lane);
+                    let load_one = |a: u32| -> Result<u32, ExecError> {
+                        let v = match space {
+                            Space::Global | Space::Local => memory.load(a),
+                            Space::Shared => shared.load(a),
+                            Space::Param => ctx.launch.params.get(a as usize).copied(),
+                        };
+                        v.ok_or(ExecError::OutOfBounds {
+                            space: space.mnemonic(),
+                            addr: a,
+                            at,
+                        })
+                    };
+                    let lo = load_one(addr)?;
+                    let hi = if wide {
+                        load_one(addr.wrapping_add(1))?
+                    } else {
+                        0
+                    };
+                    ctx.write_dst(state, instr, lane, lo, hi);
+                }
+            }
+            Opcode::Tex => {
+                for lane in 0..lanes {
+                    if exec_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let coord = ctx.read_operand(state, instr, 0, lane);
+                    let v = memory.load(coord).ok_or(ExecError::OutOfBounds {
+                        space: "texture",
+                        addr: coord,
+                        at,
+                    })?;
+                    ctx.write_dst(state, instr, lane, v, 0);
+                }
+            }
+            Opcode::Setp(cmp) | Opcode::FSetp(cmp) => {
+                let float = matches!(instr.op, Opcode::FSetp(_));
+                let p = instr.pdst.expect("validated").index() as usize;
+                for lane in 0..lanes {
+                    if exec_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let a = ctx.read_operand(state, instr, 0, lane);
+                    let b = ctx.read_operand(state, instr, 1, lane);
+                    state.preds[p][lane] = eval_cmp(cmp, float, a, b);
+                }
+            }
+            Opcode::Sel => {
+                let p = instr.psrc.expect("validated").index() as usize;
+                for lane in 0..lanes {
+                    if exec_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let a = ctx.read_operand(state, instr, 0, lane);
+                    let b = ctx.read_operand(state, instr, 1, lane);
+                    let v = if state.preds[p][lane] { a } else { b };
+                    ctx.write_dst(state, instr, lane, v, 0);
+                }
+            }
+            _ => {
+                if instr.dst.map(|d| d.width == Width::W64).unwrap_or(false) {
+                    return Err(ExecError::Unsupported {
+                        what: format!("64-bit destination on `{instr}`"),
+                        at,
+                    });
+                }
+                for lane in 0..lanes {
+                    if exec_mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let a = ctx.read_operand(state, instr, 0, lane);
+                    let b = if instr.srcs.len() > 1 {
+                        ctx.read_operand(state, instr, 1, lane)
+                    } else {
+                        0
+                    };
+                    let c = if instr.srcs.len() > 2 {
+                        ctx.read_operand(state, instr, 2, lane)
+                    } else {
+                        0
+                    };
+                    let v = eval_alu(instr.op, a, b, c);
+                    ctx.write_dst(state, instr, lane, v, 0);
+                }
+            }
+        }
+
+        // Read-operand fills deposit the MRF value into the ORF.
+        if matches!(ctx.mode, ExecMode::Hierarchy(_)) {
+            for (slot, loc) in instr.read_locs.iter().enumerate() {
+                if let Some(e) = loc.orf_fill() {
+                    if let Some(r) = instr.srcs[slot].as_reg() {
+                        for lane in 0..lanes {
+                            if mask & (1 << lane) != 0 {
+                                state.orf[e as usize][lane] = state.regs[r.index() as usize][lane];
+                            }
+                        }
+                    }
+                }
+            }
+            // Strand boundaries invalidate the upper levels.
+            if instr.ends_strand {
+                state.poison_upper();
+            }
+        }
+
+        tok.pc = normalize(kernel, (block, index + 1));
+    }
+    Ok(Phase::Done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NullSink;
+
+    fn run(text: &str, mem_words: usize, init: &[(u32, u32)]) -> (GlobalMemory, ExecReport) {
+        let kernel = rfh_isa::parse_kernel(text).unwrap();
+        let mut mem = GlobalMemory::new(mem_words);
+        for (a, v) in init {
+            mem.store(*a, *v);
+        }
+        let mut sink = NullSink;
+        let report = execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut mem,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap();
+        (mem, report)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let (mem, report) = run(
+            "
+.kernel a
+BB0:
+  mov r0, %tid.x
+  iadd r1 r0, 10
+  imul r2 r1, 3
+  st.global r0, r2
+  exit
+",
+            32,
+            &[],
+        );
+        for t in 0..32u32 {
+            assert_eq!(mem.load(t), Some((t + 10) * 3));
+        }
+        assert_eq!(report.warps, 1);
+        assert_eq!(report.warp_instructions, 5);
+        assert_eq!(report.thread_instructions, 5 * 32);
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let k = "
+.kernel f
+BB0:
+  mov r0, %tid.x
+  ld.global r1 r0
+  ffma r2 r1, 2.0f, 1.0f
+  st.global r0, r2
+  exit
+";
+        let kernel = rfh_isa::parse_kernel(k).unwrap();
+        let mut mem = GlobalMemory::from_f32(&(0..32).map(|i| i as f32).collect::<Vec<_>>());
+        let mut sink = NullSink;
+        execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut mem,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap();
+        assert_eq!(mem.load_f32(5), Some(11.0));
+    }
+
+    #[test]
+    fn predication_masks_lanes() {
+        let (mem, _) = run(
+            "
+.kernel p
+BB0:
+  mov r0, %tid.x
+  mov r1, 0
+  setp.lt p0 r0, 4
+  @p0 mov r1, 1
+  st.global r0, r1
+  exit
+",
+            32,
+            &[],
+        );
+        for t in 0..32u32 {
+            assert_eq!(mem.load(t), Some(u32::from(t < 4)), "lane {t}");
+        }
+    }
+
+    #[test]
+    fn divergent_hammock_reconverges() {
+        let (mem, _) = run(
+            "
+.kernel h
+BB0:
+  mov r0, %tid.x
+  setp.lt p0 r0, 16
+  @p0 bra BB2
+BB1:
+  mov r1, 100
+  bra BB3
+BB2:
+  mov r1, 200
+BB3:
+  iadd r1 r1, r0
+  st.global r0, r1
+  exit
+",
+            32,
+            &[],
+        );
+        for t in 0..32u32 {
+            let expect = if t < 16 { 200 + t } else { 100 + t };
+            assert_eq!(mem.load(t), Some(expect), "lane {t}");
+        }
+    }
+
+    #[test]
+    fn divergent_loop_trip_counts() {
+        // Each lane loops tid+1 times.
+        let (mem, _) = run(
+            "
+.kernel l
+BB0:
+  mov r0, %tid.x
+  mov r1, 0
+  mov r2, 0
+BB1:
+  iadd r1 r1, 1
+  iadd r2 r2, 5
+  setp.le p0 r1, r0
+  @p0 bra BB1
+BB2:
+  st.global r0, r2
+  exit
+",
+            32,
+            &[],
+        );
+        for t in 0..32u32 {
+            assert_eq!(mem.load(t), Some((t + 1) * 5), "lane {t}");
+        }
+    }
+
+    #[test]
+    fn guarded_exit_retires_lanes() {
+        let (mem, _) = run(
+            "
+.kernel e
+BB0:
+  mov r0, %tid.x
+  mov r1, 0
+  setp.lt p0 r0, 8
+  @p0 exit
+  mov r1, 9
+  st.global r0, r1
+  exit
+",
+            32,
+            &[],
+        );
+        for t in 0..32u32 {
+            let expect = if t < 8 { 0 } else { 9 };
+            assert_eq!(mem.load(t), Some(expect), "lane {t}");
+        }
+    }
+
+    #[test]
+    fn shared_memory_round_trip() {
+        let (mem, _) = run(
+            "
+.kernel s
+BB0:
+  mov r0, %tid.x
+  imul r1 r0, 7
+  st.shared r0, r1
+  bar
+  ld.shared r2 r0
+  st.global r0, r2
+  exit
+",
+            32,
+            &[],
+        );
+        for t in 0..32u32 {
+            assert_eq!(mem.load(t), Some(t * 7));
+        }
+    }
+
+    #[test]
+    fn params_and_ctas() {
+        let kernel = rfh_isa::parse_kernel(
+            "
+.kernel c
+BB0:
+  ld.param r1 0
+  mov r2, %ctaid.x
+  imul r3 r2, %ntid.x
+  mov r4, %tid.x
+  iadd r3 r3, r4
+  iadd r5 r3, r1
+  st.global r3, r5
+  exit
+",
+        )
+        .unwrap();
+        let mut mem = GlobalMemory::new(128);
+        let mut sink = NullSink;
+        let launch = Launch::new(2, 64).with_params(vec![1000]);
+        let report = execute(
+            &kernel,
+            &launch,
+            &mut mem,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap();
+        assert_eq!(report.warps, 4);
+        for g in 0..128u32 {
+            assert_eq!(mem.load(g), Some(g + 1000), "gid {g}");
+        }
+    }
+
+    #[test]
+    fn wide_load_fills_register_pair() {
+        let (mem, _) = run(
+            "
+.kernel w
+BB0:
+  mov r0, %tid.x
+  shl r1 r0, 1
+  ld.global r4.w64 r1
+  iadd r6 r4, r5
+  st.global r0, r6
+  exit
+",
+            96,
+            &[(0, 3), (1, 4), (2, 30), (3, 40)],
+        );
+        assert_eq!(mem.load(0), Some(7));
+        assert_eq!(mem.load(1), Some(70));
+    }
+
+    #[test]
+    fn out_of_bounds_reports_location() {
+        let kernel =
+            rfh_isa::parse_kernel(".kernel o\nBB0:\n  mov r0, 9999\n  ld.global r1 r0\n  exit\n")
+                .unwrap();
+        let mut mem = GlobalMemory::new(4);
+        let mut sink = NullSink;
+        let err = execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut mem,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { addr: 9999, .. }));
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let kernel = rfh_isa::parse_kernel(
+            ".kernel i\nBB0:\n  mov r0, 0\nBB1:\n  iadd r0 r0, 1\n  bra BB1\nBB2:\n  exit\n",
+        )
+        .unwrap();
+        let mut mem = GlobalMemory::new(4);
+        let mut machine = MachineConfig::paper();
+        machine.max_warp_instructions = 1000;
+        let mut sink = NullSink;
+        let err = execute_with(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut mem,
+            ExecMode::Baseline,
+            &machine,
+            &mut [&mut sink],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::InstructionBudget { .. }));
+    }
+
+    #[test]
+    fn partial_warp_masks_trailing_lanes() {
+        let kernel = rfh_isa::parse_kernel(
+            ".kernel pw\nBB0:\n  mov r0, %tid.x\n  st.global r0, 1\n  exit\n",
+        )
+        .unwrap();
+        let mut mem = GlobalMemory::new(64);
+        let mut sink = NullSink;
+        let launch = Launch::new(1, 40); // one full warp + 8 lanes
+        execute(
+            &kernel,
+            &launch,
+            &mut mem,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap();
+        for t in 0..40u32 {
+            assert_eq!(mem.load(t), Some(1), "lane {t}");
+        }
+        for t in 40..64u32 {
+            assert_eq!(mem.load(t), Some(0), "lane {t} must not execute");
+        }
+    }
+
+    #[test]
+    fn hierarchy_mode_matches_baseline_after_allocation() {
+        let text = "
+.kernel hm
+BB0:
+  mov r0, %tid.x
+  ld.global r1 r0
+  ffma r2 r1, r1, 1.0f
+  fadd r3 r2, r1
+  iadd r4 r0, 32
+  st.global r4, r3
+  exit
+";
+        let mut kernel = rfh_isa::parse_kernel(text).unwrap();
+        let data: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+
+        let mut base_mem = GlobalMemory::from_f32(&data);
+        let mut sink = NullSink;
+        execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut base_mem,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap();
+
+        let cfg = rfh_alloc::AllocConfig::three_level(3, true);
+        rfh_alloc::allocate(&mut kernel, &cfg, &rfh_energy::EnergyModel::paper());
+        let mut hier_mem = GlobalMemory::from_f32(&data);
+        execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut hier_mem,
+            ExecMode::Hierarchy(cfg),
+            &mut [&mut sink],
+        )
+        .unwrap();
+        assert_eq!(base_mem.words(), hier_mem.words());
+    }
+
+    #[test]
+    fn hierarchy_mode_catches_bad_placement() {
+        // Deliberately corrupt a placement: read from a never-written entry.
+        let text = "
+.kernel bad
+BB0:
+  mov r0, %tid.x
+  iadd r1 r0, 1
+  st.global r0, r1
+  exit
+";
+        let mut kernel = rfh_isa::parse_kernel(text).unwrap();
+        let cfg = rfh_alloc::AllocConfig::two_level(3);
+        rfh_alloc::allocate(&mut kernel, &cfg, &rfh_energy::EnergyModel::paper());
+        // Corrupt: point the store's value read at a wrong ORF entry.
+        let at = InstrRef {
+            block: rfh_isa::BlockId::new(0),
+            index: 2,
+        };
+        kernel.instr_mut(at).read_locs[1] = ReadLoc::Orf(2);
+
+        let mut base = GlobalMemory::new(32);
+        let mut bad = GlobalMemory::new(32);
+        let mut sink = NullSink;
+        let clean = {
+            let mut k2 = rfh_isa::parse_kernel(text).unwrap();
+            rfh_alloc::allocate(&mut k2, &cfg, &rfh_energy::EnergyModel::paper());
+            k2
+        };
+        execute(
+            &clean,
+            &Launch::new(1, 32),
+            &mut base,
+            ExecMode::Hierarchy(cfg),
+            &mut [&mut sink],
+        )
+        .unwrap();
+        execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut bad,
+            ExecMode::Hierarchy(cfg),
+            &mut [&mut sink],
+        )
+        .unwrap();
+        assert_ne!(
+            base.words(),
+            bad.words(),
+            "poisoned entry must corrupt output"
+        );
+    }
+}
+
+#[cfg(test)]
+mod divergence_tests {
+    use super::*;
+    use crate::sink::NullSink;
+
+    fn run32(text: &str) -> GlobalMemory {
+        let kernel = rfh_isa::parse_kernel(text).unwrap();
+        let mut mem = GlobalMemory::new(256);
+        let mut sink = NullSink;
+        execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut mem,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap();
+        mem
+    }
+
+    #[test]
+    fn nested_hammocks_reconverge() {
+        // Outer split at 16, inner split at 8 / 24: four lane classes.
+        let mem = run32(
+            "
+.kernel nest
+BB0:
+  mov r0, %tid.x
+  mov r1, 0
+  setp.lt p0 r0, 16
+  @!p0 bra BB4
+BB1:
+  setp.lt p1 r0, 8
+  @!p1 bra BB3
+BB2:
+  iadd r1 r1, 1
+BB3:
+  iadd r1 r1, 10
+  bra BB7
+BB4:
+  setp.lt p1 r0, 24
+  @!p1 bra BB6
+BB5:
+  iadd r1 r1, 100
+BB6:
+  iadd r1 r1, 1000
+BB7:
+  iadd r1 r1, 7
+  st.global r0, r1
+  exit
+",
+        );
+        for t in 0..32u32 {
+            let expect = match t {
+                0..=7 => 1 + 10 + 7,
+                8..=15 => 10 + 7,
+                16..=23 => 100 + 1000 + 7,
+                _ => 1000 + 7,
+            };
+            assert_eq!(mem.load(t), Some(expect), "lane {t}");
+        }
+    }
+
+    #[test]
+    fn loop_inside_hammock() {
+        // Lanes < 16 run a per-lane-trip-count loop; others skip it.
+        let mem = run32(
+            "
+.kernel lih
+BB0:
+  mov r0, %tid.x
+  mov r1, 0
+  setp.ge p0 r0, 16
+  @p0 bra BB2
+BB1:
+  iadd r1 r1, 3
+  setp.gt p1 r1, r0
+  @!p1 bra BB1
+BB2:
+  iadd r1 r1, 500
+  st.global r0, r1
+  exit
+",
+        );
+        for t in 0..32u32 {
+            let expect = if t < 16 { ((t / 3) + 1) * 3 + 500 } else { 500 };
+            assert_eq!(mem.load(t), Some(expect), "lane {t}");
+        }
+    }
+
+    #[test]
+    fn hammock_inside_loop() {
+        // Each iteration diverges on parity of the accumulator.
+        let mem = run32(
+            "
+.kernel hil
+BB0:
+  mov r0, %tid.x
+  mov r1, 0
+  mov r2, 0
+BB1:
+  and r3 r1, 1
+  setp.eq p0 r3, 0
+  @!p0 bra BB3
+BB2:
+  iadd r2 r2, 5
+BB3:
+  iadd r2 r2, 1
+  iadd r1 r1, 1
+  setp.lt p1 r1, 4
+  @p1 bra BB1
+BB4:
+  st.global r0, r2
+  exit
+",
+        );
+        // Iterations 0 and 2 take the even path: 2·(5+1) + 2·1 = 14.
+        for t in 0..32u32 {
+            assert_eq!(mem.load(t), Some(14), "lane {t}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod nested_loop_exec_tests {
+    use super::*;
+    use crate::sink::NullSink;
+
+    /// Nested loops with lane-dependent inner trip counts, executed with
+    /// full allocation under hierarchy-faithful mode.
+    #[test]
+    fn nested_divergent_loops_allocate_and_execute() {
+        let text = "
+.kernel nestdiv
+BB0:
+  mov r0, %tid.x
+  and r7 r0, 7
+  mov r1, 0
+  mov r2, 0
+BB1:
+  mov r3, 0
+BB2:
+  iadd r3 r3, 1
+  imad r2 r3, r1, r2
+  iadd r2 r2, 1
+  setp.le p0 r3, r7
+  @p0 bra BB2
+BB3:
+  iadd r1 r1, 1
+  setp.lt p1 r1, 3
+  @p1 bra BB1
+BB4:
+  st.global r0, r2
+  exit
+";
+        let kernel = rfh_isa::parse_kernel(text).unwrap();
+        let mut base = GlobalMemory::new(32);
+        let mut sink = NullSink;
+        execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut base,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap();
+
+        // Host oracle.
+        for t in 0..32i64 {
+            let lane_bound = t & 7;
+            let mut r2: i64 = 0;
+            for r1 in 0..3i64 {
+                let mut r3 = 0i64;
+                loop {
+                    r3 += 1;
+                    r2 = (r3 * r1 + r2) & 0xFFFF_FFFF;
+                    r2 += 1;
+                    if r3 > lane_bound {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(
+                base.load(t as u32),
+                Some((r2 & 0xFFFF_FFFF) as u32),
+                "lane {t}"
+            );
+        }
+
+        // And the allocated kernel computes the same image.
+        let cfg = rfh_alloc::AllocConfig::three_level(2, true);
+        let mut allocated = kernel.clone();
+        rfh_alloc::allocate(&mut allocated, &cfg, &rfh_energy::EnergyModel::paper());
+        let mut hier = GlobalMemory::new(32);
+        execute(
+            &allocated,
+            &Launch::new(1, 32),
+            &mut hier,
+            ExecMode::Hierarchy(cfg),
+            &mut [&mut sink],
+        )
+        .unwrap();
+        assert_eq!(base.words(), hier.words());
+    }
+}

@@ -1,0 +1,74 @@
+//! The instruction-trace observer interface.
+//!
+//! The functional executor emits one event per executed warp instruction;
+//! counting models ([`crate::counts`], [`crate::rfc`], [`crate::usage`])
+//! implement [`TraceSink`] and accumulate whatever they need. This mirrors
+//! the paper's methodology of a custom Ocelot trace analysis tool recording
+//! hierarchy accesses over full program executions (§5.1).
+
+use rfh_isa::{InstrRef, Instruction};
+
+/// One executed warp instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrEvent<'a> {
+    /// The issuing warp's global index.
+    pub warp: usize,
+    /// The instruction's position in the kernel.
+    pub at: InstrRef,
+    /// The instruction itself (with placement and liveness annotations).
+    pub instr: &'a Instruction,
+    /// Threads active in the warp when the instruction issued.
+    pub active_mask: u32,
+    /// Threads that actually executed (active ∧ guard).
+    pub exec_mask: u32,
+}
+
+impl InstrEvent<'_> {
+    /// Number of threads that executed the instruction.
+    pub fn exec_threads(&self) -> u32 {
+        self.exec_mask.count_ones()
+    }
+}
+
+/// An observer of the executed instruction stream.
+pub trait TraceSink {
+    /// Called for every warp instruction issued (even fully predicated-off
+    /// ones — they still read their operands).
+    fn on_instr(&mut self, event: &InstrEvent<'_>);
+
+    /// Called when a warp finishes executing.
+    fn on_warp_done(&mut self, _warp: usize) {}
+}
+
+/// A sink that discards everything (for pure functional runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn on_instr(&mut self, _event: &InstrEvent<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_isa::{ops, BlockId, Reg};
+
+    #[test]
+    fn exec_threads_counts_bits() {
+        let i = ops::mov(Reg::new(0), 1.into());
+        let ev = InstrEvent {
+            warp: 0,
+            at: InstrRef {
+                block: BlockId::new(0),
+                index: 0,
+            },
+            instr: &i,
+            active_mask: 0xFFFF_FFFF,
+            exec_mask: 0x0000_00FF,
+        };
+        assert_eq!(ev.exec_threads(), 8);
+        let mut sink = NullSink;
+        sink.on_instr(&ev);
+        sink.on_warp_done(0);
+    }
+}

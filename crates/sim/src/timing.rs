@@ -1,0 +1,623 @@
+//! Cycle-level timing model of the two-level warp scheduler.
+//!
+//! The paper's performance claim (§6): with 8 active warps out of 32
+//! resident, the two-level scheduler loses no performance relative to a
+//! scheduler that considers all warps, because the active set hides short
+//! (ALU/shared-memory) latencies while descheduling hides long (DRAM/
+//! texture) latencies.
+//!
+//! The model is trace driven: a [`TraceCapture`] sink records each warp's
+//! dynamic instruction stream (latency class, operands, unit); the
+//! scheduler then replays all warps with:
+//!
+//! * single-issue in-order issue per cycle across active warps
+//!   (round-robin);
+//! * per-warp register scoreboards;
+//! * shared-datapath units (SFU/MEM/TEX) issuing at quarter throughput;
+//! * descheduling on dependences on in-flight long-latency results, and at
+//!   barriers (warps wait off the active set);
+//! * idle-cycle fast-forwarding, so long DRAM stalls cost simulation time
+//!   proportional to events, not cycles.
+
+use std::collections::HashSet;
+
+use rfh_isa::Unit;
+
+use crate::machine::MachineConfig;
+use crate::sink::{InstrEvent, TraceSink};
+
+/// One dynamic instruction in a warp's trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOp {
+    /// Result latency in cycles.
+    pub latency: u64,
+    /// Executing unit.
+    pub unit: Unit,
+    /// Whether this is a long-latency (DRAM/texture) operation.
+    pub long: bool,
+    /// Whether this is a barrier.
+    pub barrier: bool,
+    /// Destination registers (64-bit values use both slots).
+    pub dsts: [Option<u16>; 2],
+    /// Source registers.
+    pub srcs: [Option<u16>; 3],
+}
+
+/// Captures per-warp dynamic traces from the functional executor.
+#[derive(Debug)]
+pub struct TraceCapture {
+    machine: MachineConfig,
+    warps_per_cta: usize,
+    /// Dynamic instruction stream per warp.
+    pub traces: Vec<Vec<TraceOp>>,
+}
+
+impl TraceCapture {
+    /// Creates a capture sized for a launch of `ctas × threads_per_cta`.
+    pub fn new(machine: MachineConfig, threads_per_cta: usize) -> Self {
+        let warps_per_cta = threads_per_cta.div_ceil(machine.warp_width);
+        TraceCapture {
+            machine,
+            warps_per_cta,
+            traces: Vec::new(),
+        }
+    }
+
+    /// The CTA index of a warp.
+    pub fn cta_of(&self, warp: usize) -> usize {
+        warp / self.warps_per_cta
+    }
+
+    /// Warps per CTA in the captured launch.
+    pub fn warps_per_cta(&self) -> usize {
+        self.warps_per_cta
+    }
+}
+
+impl TraceSink for TraceCapture {
+    fn on_instr(&mut self, event: &InstrEvent<'_>) {
+        if self.traces.len() <= event.warp {
+            self.traces.resize_with(event.warp + 1, Vec::new);
+        }
+        let instr = event.instr;
+        let mut dsts = [None, None];
+        for (i, r) in instr.def_regs().enumerate().take(2) {
+            dsts[i] = Some(r.index());
+        }
+        let mut srcs = [None, None, None];
+        for (i, (_, r)) in instr.reg_srcs().enumerate().take(3) {
+            srcs[i] = Some(r.index());
+        }
+        self.traces[event.warp].push(TraceOp {
+            latency: self.machine.latency(instr.op),
+            unit: instr.op.unit(),
+            long: instr.op.is_long_latency(),
+            barrier: instr.op.is_barrier(),
+            dsts,
+            srcs,
+        });
+    }
+}
+
+/// Warp selection policy among schedulable warps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Rotate the starting point after every issue (fair; the default).
+    #[default]
+    RoundRobin,
+    /// Always prefer the lowest-numbered ready warp (greedy/oldest-first;
+    /// tends to run a few warps far ahead of the rest).
+    Greedy,
+}
+
+/// Timing simulation configuration.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// The machine parameters.
+    pub machine: MachineConfig,
+    /// Active warps (the two-level scheduler's upper set size).
+    pub active_warps: usize,
+    /// `false` simulates the single-level baseline scheduler, which keeps
+    /// every resident warp schedulable.
+    pub two_level: bool,
+    /// Warp selection policy.
+    pub policy: SchedPolicy,
+}
+
+impl TimingConfig {
+    /// The paper's two-level scheduler with `active` warps.
+    pub fn two_level(active: usize) -> Self {
+        TimingConfig {
+            machine: MachineConfig::paper(),
+            active_warps: active,
+            two_level: true,
+            policy: SchedPolicy::RoundRobin,
+        }
+    }
+
+    /// The single-level baseline (all resident warps schedulable).
+    pub fn single_level() -> Self {
+        TimingConfig {
+            machine: MachineConfig::paper(),
+            active_warps: usize::MAX,
+            two_level: false,
+            policy: SchedPolicy::RoundRobin,
+        }
+    }
+
+    /// Selects a warp selection policy.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Result of a timing simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingResult {
+    /// Total cycles to drain every warp.
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// Deschedule events (two-level only).
+    pub deschedules: u64,
+}
+
+impl TimingResult {
+    /// Warp instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Active,
+    Pending { resume: u64 },
+    AtBarrier,
+    Done,
+}
+
+struct WarpSim {
+    next: usize,
+    status: Status,
+    reg_ready: Vec<u64>,
+    long_regs: HashSet<u16>,
+}
+
+/// Replays captured traces through the two-level scheduler.
+///
+/// `cta_of` maps warp index → CTA (for barrier scoping); use
+/// [`TraceCapture::cta_of`].
+///
+/// # Panics
+///
+/// Panics on a barrier deadlock (a CTA whose warps cannot all reach the
+/// barrier), which indicates a malformed workload.
+pub fn simulate_timing(
+    traces: &[Vec<TraceOp>],
+    cta_of: &dyn Fn(usize) -> usize,
+    config: &TimingConfig,
+) -> TimingResult {
+    let n = traces.len();
+    let max_reg = traces
+        .iter()
+        .flatten()
+        .flat_map(|op| op.dsts.iter().chain(op.srcs.iter()).flatten())
+        .copied()
+        .max()
+        .unwrap_or(0) as usize
+        + 1;
+    let mut warps: Vec<WarpSim> = (0..n)
+        .map(|_| WarpSim {
+            next: 0,
+            status: Status::Pending { resume: 0 },
+            reg_ready: vec![0; max_reg],
+            long_regs: HashSet::new(),
+        })
+        .collect();
+    let slots = if config.two_level {
+        config.active_warps.min(n)
+    } else {
+        n
+    };
+    // Barrier bookkeeping: arrived counts per CTA.
+    let n_ctas = (0..n).map(cta_of).max().map(|c| c + 1).unwrap_or(0);
+    let mut barrier_arrived = vec![0usize; n_ctas];
+
+    let mut now: u64 = 0;
+    let mut instructions: u64 = 0;
+    let mut deschedules: u64 = 0;
+    let mut rr: usize = 0;
+
+    // Activate initial warps.
+    let mut active: Vec<usize> = Vec::new();
+    let activate = |warps: &mut Vec<WarpSim>, active: &mut Vec<usize>, now: u64| {
+        while active.len() < slots {
+            let candidate = warps
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| matches!(w.status, Status::Pending { resume } if resume <= now))
+                .map(|(i, _)| i)
+                .next();
+            match candidate {
+                Some(i) => {
+                    warps[i].status = Status::Active;
+                    active.push(i);
+                }
+                None => break,
+            }
+        }
+    };
+    activate(&mut warps, &mut active, now);
+
+    let mut sfu_free: u64 = 0;
+    let mut mem_free: u64 = 0;
+    let mut tex_free: u64 = 0;
+
+    loop {
+        if warps.iter().all(|w| w.status == Status::Done) {
+            break;
+        }
+        let mut issued = false;
+        let mut release_cta: Option<usize> = None;
+        let mut to_deschedule: Option<(usize, u64)> = None;
+
+        for k in 0..active.len() {
+            let wi = active[(rr + k) % active.len()];
+            let trace = &traces[wi];
+            let w = &warps[wi];
+            debug_assert_eq!(w.status, Status::Active);
+            let op = &trace[w.next];
+
+            // Operand readiness.
+            let ready_at = op
+                .srcs
+                .iter()
+                .flatten()
+                .map(|r| w.reg_ready[*r as usize])
+                .max()
+                .unwrap_or(0);
+            if ready_at > now {
+                let blocked_on_long = op
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .any(|r| w.reg_ready[*r as usize] > now && w.long_regs.contains(r));
+                if config.two_level && blocked_on_long {
+                    to_deschedule = Some((wi, ready_at));
+                    break;
+                }
+                continue; // short stall: wait in place
+            }
+            // Unit availability.
+            let unit_free = match op.unit {
+                Unit::Sfu => sfu_free,
+                Unit::Mem => mem_free,
+                Unit::Tex => tex_free,
+                _ => 0,
+            };
+            if unit_free > now {
+                continue;
+            }
+
+            // ---- issue ----
+            let op = *op;
+            let w = &mut warps[wi];
+            for r in op.srcs.iter().flatten() {
+                if w.reg_ready[*r as usize] <= now {
+                    w.long_regs.remove(r);
+                }
+            }
+            for d in op.dsts.iter().flatten() {
+                w.reg_ready[*d as usize] = now + op.latency;
+                if op.long {
+                    w.long_regs.insert(*d);
+                } else {
+                    w.long_regs.remove(d);
+                }
+            }
+            match op.unit {
+                Unit::Sfu => sfu_free = now + config.machine.shared_issue_cycles,
+                Unit::Mem => mem_free = now + config.machine.shared_issue_cycles,
+                Unit::Tex => tex_free = now + config.machine.shared_issue_cycles,
+                _ => {}
+            }
+            w.next += 1;
+            instructions += 1;
+            issued = true;
+            rr = match config.policy {
+                SchedPolicy::RoundRobin => (rr + k + 1) % active.len().max(1),
+                SchedPolicy::Greedy => 0,
+            };
+
+            if w.next == trace.len() {
+                w.status = Status::Done;
+                active.retain(|&a| a != wi);
+            } else if op.barrier {
+                let cta = cta_of(wi);
+                w.status = Status::AtBarrier;
+                active.retain(|&a| a != wi);
+                barrier_arrived[cta] += 1;
+                let expected = (0..n)
+                    .filter(|&x| cta_of(x) == cta && warps[x].status != Status::Done)
+                    .count();
+                if barrier_arrived[cta] >= expected {
+                    release_cta = Some(cta);
+                }
+            }
+            break;
+        }
+
+        if let Some((wi, resume)) = to_deschedule {
+            deschedules += 1;
+            warps[wi].status = Status::Pending { resume };
+            active.retain(|&a| a != wi);
+        }
+        if let Some(cta) = release_cta {
+            barrier_arrived[cta] = 0;
+            for (x, w) in warps.iter_mut().enumerate() {
+                if cta_of(x) == cta && w.status == Status::AtBarrier {
+                    w.status = Status::Pending { resume: now };
+                }
+            }
+        }
+        activate(&mut warps, &mut active, now);
+
+        if issued || to_deschedule.is_some() || release_cta.is_some() {
+            now += 1;
+            continue;
+        }
+        // Nothing happened: fast-forward to the next event.
+        let mut next_event = u64::MAX;
+        for wi in &active {
+            let w = &warps[*wi];
+            let op = &traces[*wi][w.next];
+            let ready = op
+                .srcs
+                .iter()
+                .flatten()
+                .map(|r| w.reg_ready[*r as usize])
+                .max()
+                .unwrap_or(0);
+            let unit = match op.unit {
+                Unit::Sfu => sfu_free,
+                Unit::Mem => mem_free,
+                Unit::Tex => tex_free,
+                _ => 0,
+            };
+            next_event = next_event.min(ready.max(unit).max(now + 1));
+        }
+        for w in &warps {
+            if let Status::Pending { resume } = w.status {
+                next_event = next_event.min(resume.max(now + 1));
+            }
+        }
+        assert!(
+            next_event != u64::MAX,
+            "scheduler deadlock: no active work and no pending events (barrier mismatch?)"
+        );
+        now = next_event;
+        activate(&mut warps, &mut active, now);
+    }
+
+    TimingResult {
+        cycles: now,
+        instructions,
+        deschedules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_with, ExecMode, Launch};
+    use crate::mem::GlobalMemory;
+
+    fn capture(text: &str, ctas: usize, tpc: usize, mem_words: usize) -> TraceCapture {
+        let kernel = rfh_isa::parse_kernel(text).unwrap();
+        let machine = MachineConfig::paper();
+        let mut cap = TraceCapture::new(machine.clone(), tpc);
+        let mut mem = GlobalMemory::new(mem_words);
+        execute_with(
+            &kernel,
+            &Launch::new(ctas, tpc),
+            &mut mem,
+            ExecMode::Baseline,
+            &machine,
+            &mut [&mut cap],
+        )
+        .unwrap();
+        cap
+    }
+
+    const ALU_HEAVY: &str = "
+.kernel alu
+BB0:
+  mov r0, %tid.x
+  mov r1, 0
+  mov r2, 0
+BB1:
+  iadd r1 r1, 1
+  imad r2 r1, r1, r2
+  iadd r2 r2, 3
+  xor r2 r2, r1
+  setp.lt p0 r1, 64
+  @p0 bra BB1
+BB2:
+  st.global r0, r2
+  exit
+";
+
+    const MEM_HEAVY: &str = "
+.kernel memh
+BB0:
+  mov r0, %tid.x
+  mov r3, 0
+  mov r4, 0
+BB1:
+  iadd r1 r0, r3
+  ld.global r2 r1
+  iadd r4 r4, r2
+  iadd r3 r3, 32
+  setp.lt p0 r3, 512
+  @p0 bra BB1
+BB2:
+  st.global r0, r4
+  exit
+";
+
+    #[test]
+    fn single_warp_alu_ipc_is_latency_bound() {
+        let cap = capture(ALU_HEAVY, 1, 32, 64);
+        let r = simulate_timing(
+            &cap.traces,
+            &|w| cap.cta_of(w),
+            &TimingConfig::single_level(),
+        );
+        // One warp with serial dependences cannot reach IPC 1.
+        assert!(r.ipc() < 0.7, "ipc = {}", r.ipc());
+    }
+
+    #[test]
+    fn many_warps_hide_alu_latency() {
+        let cap = capture(ALU_HEAVY, 8, 128, 2048);
+        assert_eq!(cap.traces.len(), 32);
+        let r = simulate_timing(
+            &cap.traces,
+            &|w| cap.cta_of(w),
+            &TimingConfig::single_level(),
+        );
+        assert!(
+            r.ipc() > 0.9,
+            "32 warps should saturate issue, ipc = {}",
+            r.ipc()
+        );
+    }
+
+    #[test]
+    fn two_level_with_8_matches_single_level() {
+        // The paper's claim: no performance penalty with 8 active warps.
+        for text in [ALU_HEAVY, MEM_HEAVY] {
+            let cap = capture(text, 8, 128, 4096);
+            let base = simulate_timing(
+                &cap.traces,
+                &|w| cap.cta_of(w),
+                &TimingConfig::single_level(),
+            );
+            let two = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8));
+            let slowdown = two.cycles as f64 / base.cycles as f64;
+            assert!(slowdown < 1.05, "two-level slowdown {slowdown} on {text}");
+        }
+    }
+
+    #[test]
+    fn too_few_active_warps_hurt_memory_workloads() {
+        let cap = capture(MEM_HEAVY, 8, 128, 4096);
+        let base = simulate_timing(
+            &cap.traces,
+            &|w| cap.cta_of(w),
+            &TimingConfig::single_level(),
+        );
+        let tiny = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(1));
+        assert!(
+            tiny.cycles as f64 > base.cycles as f64 * 1.3,
+            "1 active warp cannot hide latency: {} vs {}",
+            tiny.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn descheduling_happens_on_long_latency() {
+        let cap = capture(MEM_HEAVY, 8, 128, 4096);
+        let two = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8));
+        assert!(two.deschedules > 0);
+    }
+
+    #[test]
+    fn barriers_synchronize_ctas() {
+        let text = "
+.kernel b
+BB0:
+  mov r0, %tid.x
+  st.shared r0, r0
+  bar
+  iadd r1 r0, 1
+  ld.shared r2 r1
+  st.global r0, r2
+  exit
+";
+        // 2 CTAs of 64 threads: barriers must not deadlock across CTAs.
+        let cap = capture(text, 2, 64, 256);
+        let r = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(2));
+        assert!(r.cycles > 0);
+        assert_eq!(
+            r.instructions,
+            cap.traces.iter().map(|t| t.len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn instruction_counts_are_conserved() {
+        let cap = capture(ALU_HEAVY, 2, 64, 128);
+        let total: u64 = cap.traces.iter().map(|t| t.len() as u64).sum();
+        for cfg in [TimingConfig::single_level(), TimingConfig::two_level(4)] {
+            let r = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &cfg);
+            assert_eq!(r.instructions, total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::exec::{execute, ExecMode, Launch};
+    use crate::mem::GlobalMemory;
+
+    #[test]
+    fn greedy_policy_is_never_faster_on_balanced_work() {
+        let kernel = rfh_isa::parse_kernel(
+            "
+.kernel bal
+BB0:
+  mov r0, %tid.x
+  mov r1, 0
+  mov r2, 0
+BB1:
+  iadd r1 r1, 1
+  imad r2 r1, r1, r2
+  setp.lt p0 r1, 32
+  @p0 bra BB1
+BB2:
+  st.global r0, r2
+  exit
+",
+        )
+        .unwrap();
+        let machine = MachineConfig::paper();
+        let mut cap = TraceCapture::new(machine, 128);
+        let mut mem = GlobalMemory::new(1024);
+        execute(
+            &kernel,
+            &Launch::new(4, 128),
+            &mut mem,
+            ExecMode::Baseline,
+            &mut [&mut cap],
+        )
+        .unwrap();
+        let rr = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8));
+        let greedy = simulate_timing(
+            &cap.traces,
+            &|w| cap.cta_of(w),
+            &TimingConfig::two_level(8).with_policy(SchedPolicy::Greedy),
+        );
+        assert_eq!(rr.instructions, greedy.instructions);
+        assert!(
+            greedy.cycles as f64 >= rr.cycles as f64 * 0.95,
+            "greedy {} vs round-robin {}",
+            greedy.cycles,
+            rr.cycles
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! The three benchmark suites of Table 1.
+
+pub mod parboil;
+pub mod rodinia;
+pub mod sdk;

@@ -1,0 +1,51 @@
+//! Build a kernel with the `KernelBuilder` DSL, then sweep hierarchy
+//! configurations to see where its values land.
+//!
+//! ```sh
+//! cargo run --example custom_kernel
+//! ```
+
+use rfh::alloc::{allocate, pass::read_level_counts, AllocConfig};
+use rfh::energy::EnergyModel;
+use rfh::isa::{ops, CmpOp, KernelBuilder, Operand, Special};
+
+fn main() {
+    // A blocked horner-evaluation kernel: out[i] = p(x[i]) for a degree-7
+    // polynomial, built programmatically.
+    let mut b = KernelBuilder::new("horner7");
+    let x = b.reg();
+    let acc = b.reg();
+    let idx = b.reg();
+    let addr = b.reg();
+    b.push(ops::mov(idx, Operand::Special(Special::TidX)));
+    b.push(ops::ld_global(x, idx.into()));
+    b.push(ops::mov(acc, Operand::f32(0.25)));
+    let coeffs = [0.5f32, -1.0, 0.125, 2.0, -0.75, 1.5, 0.0625];
+    for c in coeffs {
+        b.push(ops::ffma(acc, acc.into(), x.into(), Operand::f32(c)));
+    }
+    // Guarded clamp: negative results are zeroed.
+    let p = b.pred();
+    b.push(ops::fsetp(CmpOp::Lt, p, acc.into(), Operand::f32(0.0)));
+    b.push(ops::mov(acc, Operand::f32(0.0)).guarded(p, false));
+    b.push(ops::iadd(addr, idx.into(), 1024.into()));
+    b.push(ops::st_global(addr.into(), acc.into()));
+    b.push(ops::exit());
+    let kernel = b.finish();
+
+    println!("{}", rfh::isa::printer::print_kernel(&kernel));
+
+    let model = EnergyModel::paper();
+    println!("config                       LRF reads  ORF reads  MRF reads");
+    for (name, cfg) in [
+        ("baseline (MRF only)", AllocConfig::baseline()),
+        ("2-level, 3-entry ORF", AllocConfig::two_level(3)),
+        ("3-level, unified LRF", AllocConfig::three_level(3, false)),
+        ("3-level, split LRF", AllocConfig::three_level(3, true)),
+    ] {
+        let mut k = kernel.clone();
+        allocate(&mut k, &cfg, &model);
+        let (lrf, orf, mrf) = read_level_counts(&k);
+        println!("{name:<28} {lrf:^9}  {orf:^9}  {mrf:^9}");
+    }
+}

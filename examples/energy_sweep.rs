@@ -1,0 +1,45 @@
+//! Sweep ORF sizes over a benchmark and compare the software-managed
+//! hierarchy against the hardware register file cache — a miniature
+//! Figure 13 for one workload.
+//!
+//! ```sh
+//! cargo run --release --example energy_sweep [workload]
+//! ```
+
+use rfh::alloc::AllocConfig;
+use rfh::energy::EnergyModel;
+use rfh::experiments::runner::{baseline_counts, hw_counts, normalized_energy, sw_counts};
+use rfh::sim::rfc::RfcConfig;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "matrixmul".into());
+    let Some(w) = rfh::workloads::by_name(&name) else {
+        eprintln!("unknown workload `{name}`; available:");
+        for w in rfh::workloads::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(2);
+    };
+
+    let model = EnergyModel::paper();
+    let base = baseline_counts(&w);
+    println!(
+        "workload: {} ({} warp threads)",
+        w.name,
+        w.launch.total_threads()
+    );
+    println!("entries  HW RFC  SW ORF  SW ORF+split LRF");
+    for entries in 1..=8 {
+        let hw = hw_counts(&w, &RfcConfig::two_level(entries));
+        let sw = sw_counts(&w, &AllocConfig::two_level(entries), &model);
+        let sw3 = sw_counts(&w, &AllocConfig::three_level(entries, true), &model);
+        println!(
+            "{entries:^7}  {:.3}   {:.3}   {:.3}",
+            normalized_energy(&hw, &base, &model, entries),
+            normalized_energy(&sw, &base, &model, entries),
+            normalized_energy(&sw3, &base, &model, entries),
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! `rfhc` — the standalone hierarchy compiler driver.
+//!
+//! Reads a kernel in the textual assembly format, runs strand marking,
+//! liveness, and LRF/ORF/MRF allocation, and prints the annotated result
+//! (or plain text with only the strand bits via `--plain`).
+//!
+//! ```text
+//! rfhc [--orf N] [--lrf none|unified|split] [--no-partial] [--no-readop]
+//!      [--plain] [--stats] <kernel.rfasm | ->
+//! ```
+
+use std::io::Read;
+use std::process::exit;
+
+use rfh::alloc::{allocate, AllocConfig, LrfMode};
+use rfh::energy::EnergyModel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-partial] \
+         [--no-readop] [--plain] [--stats] <kernel.rfasm | ->"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut config = AllocConfig::three_level(3, true);
+    let mut plain = false;
+    let mut stats_only = false;
+    let mut input: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--orf" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                config.orf_entries = n.parse().unwrap_or_else(|_| usage());
+                if config.orf_entries > 8 {
+                    eprintln!("rfhc: ORF sizes beyond 8 entries have no energy model");
+                    exit(2);
+                }
+            }
+            "--lrf" => {
+                config.lrf = match args.next().as_deref() {
+                    Some("none") => LrfMode::None,
+                    Some("unified") => LrfMode::Unified,
+                    Some("split") => LrfMode::Split,
+                    _ => usage(),
+                }
+            }
+            "--no-partial" => config.partial_ranges = false,
+            "--no-readop" => config.read_operands = false,
+            "--plain" => plain = true,
+            "--stats" => stats_only = true,
+            "--help" | "-h" => usage(),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.into()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = input else { usage() };
+
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rfhc: cannot read {path}: {e}");
+                exit(1);
+            }
+        }
+    };
+
+    let mut kernel = match rfh::isa::parse_kernel(&text) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("rfhc: {e}");
+            exit(1);
+        }
+    };
+
+    let stats = allocate(&mut kernel, &config, &EnergyModel::paper());
+    if stats_only || !plain {
+        eprintln!(
+            "rfhc: {} — {} strands, {} LRF values, {} ORF values ({} partial), {} read operands",
+            config,
+            stats.strands,
+            stats.lrf_values,
+            stats.orf_values,
+            stats.orf_partial,
+            stats.read_operands
+        );
+    }
+    if stats_only {
+        return;
+    }
+    if plain {
+        print!("{}", rfh::isa::printer::print_kernel(&kernel));
+    } else {
+        print!("{}", rfh::isa::printer::print_kernel_annotated(&kernel));
+    }
+}
