@@ -2,7 +2,8 @@
 //! regenerating each result (and, as a side effect, exercises the full
 //! pipeline under the benchmark runner).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rfh_testkit::bench::Criterion;
+use rfh_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use rfh_bench::bench_subset;

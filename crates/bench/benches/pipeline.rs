@@ -1,7 +1,8 @@
 //! Component throughput benchmarks: per-pass compiler cost and simulator
 //! speed, measured on a representative kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rfh_testkit::bench::{BatchSize, Criterion, Throughput};
+use rfh_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use rfh_alloc::{allocate, AllocConfig};
@@ -31,7 +32,7 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter_batched(
             || w.kernel.clone(),
             |mut k| black_box(mark_strands(&mut k)),
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         )
     });
     g.bench_function("annotate_dead", |b| {
@@ -39,7 +40,7 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter_batched(
             || w.kernel.clone(),
             |mut k| annotate_dead(&mut k, &lv),
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         )
     });
     g.bench_function("allocate_three_level", |b| {
@@ -47,7 +48,7 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter_batched(
             || w.kernel.clone(),
             |mut k| black_box(allocate(&mut k, &AllocConfig::three_level(3, true), &model)),
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         )
     });
     g.finish();
@@ -83,7 +84,7 @@ fn bench_simulator(c: &mut Criterion) {
                 )
                 .unwrap()
             },
-            criterion::BatchSize::LargeInput,
+            BatchSize::LargeInput,
         )
     });
     g.bench_function("execute_hierarchy_counted", |b| {
@@ -104,7 +105,7 @@ fn bench_simulator(c: &mut Criterion) {
                 .unwrap();
                 counter.counts()
             },
-            criterion::BatchSize::LargeInput,
+            BatchSize::LargeInput,
         )
     });
     g.bench_function("execute_hw_rfc_counted", |b| {
@@ -125,7 +126,7 @@ fn bench_simulator(c: &mut Criterion) {
                 .unwrap();
                 hw.counts()
             },
-            criterion::BatchSize::LargeInput,
+            BatchSize::LargeInput,
         )
     });
     g.finish();

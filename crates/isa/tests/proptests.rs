@@ -1,7 +1,7 @@
 //! Property tests for the ISA layer: instruction construction, validation,
 //! and text round-tripping over randomly assembled instructions.
 
-use proptest::prelude::*;
+use rfh_testkit::prelude::*;
 
 use rfh_isa::{ops, CmpOp, Operand, PredReg, Reg, SfuOp, Special};
 
@@ -56,20 +56,18 @@ fn with_guard(i: rfh_isa::Instruction, g: Option<(u8, bool)>) -> rfh_isa::Instru
     }
 }
 
-proptest! {
+prop! {
     /// Every constructed instruction is structurally valid.
-    #[test]
-    fn constructed_instructions_validate(i in arb_instruction(), g in proptest::option::of((0u8..4, any::<bool>()))) {
+    fn constructed_instructions_validate(i in arb_instruction(), g in rfh_testkit::option::of((0u8..4, any::<bool>()))) {
         let i = with_guard(i, g);
         rfh_isa::validate::validate_instruction(&i).unwrap();
     }
 
     /// Kernels of random instructions round-trip through text exactly,
     /// including guards and strand-end bits.
-    #[test]
     fn kernels_round_trip(
-        instrs in proptest::collection::vec(
-            (arb_instruction(), proptest::option::of((0u8..4, any::<bool>())), any::<bool>()),
+        instrs in rfh_testkit::collection::vec(
+            (arb_instruction(), rfh_testkit::option::of((0u8..4, any::<bool>())), any::<bool>()),
             1..40,
         )
     ) {
@@ -88,8 +86,7 @@ proptest! {
     }
 
     /// `num_regs`/`num_preds` bound every register the kernel mentions.
-    #[test]
-    fn register_counts_are_upper_bounds(instrs in proptest::collection::vec(arb_instruction(), 1..30)) {
+    fn register_counts_are_upper_bounds(instrs in rfh_testkit::collection::vec(arb_instruction(), 1..30)) {
         let mut b = rfh_isa::KernelBuilder::new("bounds");
         for i in instrs {
             b.push(i);

@@ -1,0 +1,453 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Mirrors the slice of the `criterion` API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`], and the
+//! [`criterion_group!`](crate::criterion_group)/
+//! [`criterion_main!`](crate::criterion_main) macros — with a
+//! median-of-samples measurement loop and machine-readable JSON output.
+//!
+//! Each benchmark: a warmup phase sizes the per-sample iteration count so
+//! one sample lasts roughly `RFH_BENCH_SAMPLE_MS` (default 20 ms), then
+//! `sample_size` samples are taken and the median/mean/min per-iteration
+//! times reported.
+//!
+//! Environment variables:
+//!
+//! * `RFH_BENCH_JSON=<path>` — additionally write all results as JSON
+//!   (schema: `{"benchmarks": [{"group", "name", "median_ns", "mean_ns",
+//!   "min_ns", "samples", "iters_per_sample", "throughput_elems"}]}`),
+//!   the format tracked by future `BENCH_*.json` baselines.
+//! * `RFH_BENCH_SAMPLE_MS` — target milliseconds per sample.
+//! * `RFH_BENCH_SAMPLES` — override every group's `sample_size`.
+//!
+//! Passing `--test` (as `cargo test` does for `harness = false` bench
+//! targets) runs every routine exactly once, unmeasured, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How expensive batched setup is; accepted for API compatibility (the
+/// harness always runs setup un-timed, once per measured call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in criterion; here informational only.
+    SmallInput,
+    /// Large inputs: one per batch in criterion; here informational only.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+struct Report {
+    group: String,
+    name: String,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput_elems: Option<u64>,
+}
+
+/// Top-level benchmark driver; owns all collected results.
+pub struct Criterion {
+    reports: Vec<Report>,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` selects smoke
+    /// mode; a bare argument filters benchmarks by substring; other
+    /// harness flags are accepted and ignored).
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            reports: Vec::new(),
+            test_mode,
+            filter,
+        }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: default_samples(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the summary and writes `RFH_BENCH_JSON` if requested. Called
+    /// by [`criterion_main!`](crate::criterion_main).
+    pub fn finish_all(self) {
+        if let Ok(path) = std::env::var("RFH_BENCH_JSON") {
+            let json = self.to_json();
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("[bench json written to {path}]");
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"benchmarks\":[");
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"group\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.1},\
+                 \"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\
+                 \"iters_per_sample\":{},\"throughput_elems\":{}}}",
+                escape(&r.group),
+                escape(&r.name),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample,
+                r.throughput_elems
+                    .map_or("null".to_string(), |e| e.to_string()),
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn default_samples() -> usize {
+    std::env::var("RFH_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+fn target_sample_time() -> Duration {
+    let ms = std::env::var("RFH_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    Duration::from_millis(ms)
+}
+
+/// A named group of benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("RFH_BENCH_SAMPLES").is_err() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    /// Annotates per-iteration throughput for the following benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark; `f` drives the provided [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if let Some(filter) = &self.criterion.filter {
+            if !format!("{}/{}", self.name, id).contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            measurement: None,
+        };
+        f(&mut bencher);
+        let Some(m) = bencher.measurement else {
+            // Test mode, or `f` never called iter(): nothing to report.
+            if self.criterion.test_mode {
+                println!("{}/{}: ok (smoke)", self.name, id);
+            }
+            return self;
+        };
+        let elems = match self.throughput {
+            Some(Throughput::Elements(e)) => Some(e),
+            _ => None,
+        };
+        let mut line = format!(
+            "{}/{}: median {} mean {} min {} ({} samples x {} iters)",
+            self.name,
+            id,
+            fmt_ns(m.median_ns),
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.min_ns),
+            m.samples,
+            m.iters_per_sample,
+        );
+        if let Some(e) = elems {
+            let per_sec = e as f64 / (m.median_ns * 1e-9);
+            line += &format!("  [{per_sec:.3e} elem/s]");
+        }
+        println!("{line}");
+        self.criterion.reports.push(Report {
+            group: self.name.clone(),
+            name: id,
+            median_ns: m.median_ns,
+            mean_ns: m.mean_ns,
+            min_ns: m.min_ns,
+            samples: m.samples,
+            iters_per_sample: m.iters_per_sample,
+            throughput_elems: elems,
+        });
+        self
+    }
+
+    /// Ends the group (all reporting already happened incrementally).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `routine` (median over samples of many iterations each).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warmup: estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(5) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        let iters = ((target_sample_time().as_nanos() as f64 / est_ns) as u64).clamp(1, 10_000_000);
+
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(per_iter_ns, iters);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine(input));
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64).max(1.0);
+        let iters = ((target_sample_time().as_nanos() as f64 / est_ns) as u64).clamp(1, 100_000);
+
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            per_iter_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        self.record(per_iter_ns, iters);
+    }
+
+    fn record(&mut self, mut per_iter_ns: Vec<f64>, iters: u64) {
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = per_iter_ns.len();
+        let median_ns = if n % 2 == 1 {
+            per_iter_ns[n / 2]
+        } else {
+            (per_iter_ns[n / 2 - 1] + per_iter_ns[n / 2]) / 2.0
+        };
+        self.measurement = Some(Measurement {
+            median_ns,
+            mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
+            min_ns: per_iter_ns[0],
+            samples: n,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Declares a benchmark group function, `criterion`-style:
+/// `criterion_group!(name, bench_fn_a, bench_fn_b)` defines
+/// `fn name(&mut Criterion)` running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::bench::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group declared
+/// with [`criterion_group!`](crate::criterion_group).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::bench::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.finish_all();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_criterion() -> Criterion {
+        Criterion {
+            reports: Vec::new(),
+            test_mode: false,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn iter_measures_and_records() {
+        let mut c = quiet_criterion();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_function("spin", |b| {
+                b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()))
+            });
+            g.finish();
+        }
+        assert_eq!(c.reports.len(), 1);
+        let r = &c.reports[0];
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = quiet_criterion();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u64; 64],
+                    |v| v.iter().sum::<u64>(),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        assert_eq!(c.reports.len(), 1);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut c = quiet_criterion();
+        c.reports.push(Report {
+            group: "g".into(),
+            name: "n\"q".into(),
+            median_ns: 12.5,
+            mean_ns: 13.0,
+            min_ns: 11.0,
+            samples: 5,
+            iters_per_sample: 100,
+            throughput_elems: Some(42),
+        });
+        let json = c.to_json();
+        assert!(json.starts_with("{\"benchmarks\":[{"));
+        assert!(json.contains("\"name\":\"n\\\"q\""));
+        assert!(json.contains("\"throughput_elems\":42"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn test_mode_runs_routine_once_without_measuring() {
+        let mut c = quiet_criterion();
+        c.test_mode = true;
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("unit");
+            g.bench_function("smoke", |b| b.iter(|| runs += 1));
+        }
+        assert_eq!(runs, 1);
+        assert!(c.reports.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # rfh-testkit — hermetic test infrastructure
+//!
+//! Zero-dependency replacements for the external test crates the RFH
+//! workspace historically pulled from crates.io, so the whole workspace
+//! builds and tests with an empty cargo registry (`--offline`):
+//!
+//! * [`rng`] — deterministic PRNG ([`rng::SmallRng`]: xoshiro256++ seeded
+//!   via SplitMix64) with a [`rng::Rng`] trait mirroring the `rand`
+//!   surface the workspace uses, stream-compatible with `rand` 0.8 so
+//!   seeded workload data (and the golden `results/*.csv`) is unchanged;
+//! * [`strategy`] + [`prop`] — a property-testing harness
+//!   ([`prop!`](crate::prop), [`prop_assert!`](crate::prop_assert),
+//!   [`prop_oneof!`](crate::prop_oneof), [`strategy::collection::vec`],
+//!   [`strategy::option::of`]) with greedy input shrinking and
+//!   fixed-seed reproduction via `RFH_TESTKIT_SEED`;
+//! * [`bench`] — a wall-clock micro-benchmark harness mirroring the
+//!   `criterion` API the benches use, with JSON output for baseline
+//!   tracking.
+//!
+//! See `docs/TESTING.md` at the repository root for the workflow guide.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod shrink;
+pub mod strategy;
+
+// Mirror the `proptest::{collection, option}` module paths at the crate
+// root, so test code reads the same as it did under proptest.
+pub use strategy::{collection, option};
+
+/// One-stop imports for property tests (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::rng::{Rng, RngCore, SeedableRng, SmallRng, SplitMix64};
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy, StrategyExt};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof};
+}

@@ -1,0 +1,376 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! A self-contained replacement for the slice of the `rand` crate this
+//! workspace uses: [`SmallRng`] (xoshiro256++ seeded through SplitMix64),
+//! the [`SeedableRng`]/[`Rng`] traits, uniform ranges via
+//! [`Rng::gen_range`], and standard-distribution sampling via [`Rng::gen`].
+//!
+//! The generator and its sampling algorithms reproduce the value streams of
+//! `rand` 0.8's `SmallRng` on 64-bit targets (same seed expansion, same
+//! engine, same Lemire widening-multiply range reduction, same `[1, 2)`
+//! mantissa trick for floats), so data baked into the committed
+//! `results/*.csv` golden files — all of which flows through
+//! `seed_from_u64` + `gen_range` — is unchanged by the migration off the
+//! external crate.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 (Steele, Lea, Flood 2014): a tiny 64-bit generator with a
+/// trivially seedable single word of state.
+///
+/// Used to expand one-word seeds into [`SmallRng`] state, and as the
+/// harness's internal stream-splitting mixer; also usable directly.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A new stream starting from `seed`.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+/// One SplitMix64 output step (also the finalizer used for seed mixing).
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+/// xoshiro256++ (Blackman, Vigna 2018): the workspace's workhorse
+/// generator. Fast, 256 bits of state, passes BigCrush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    /// Expands `seed` into full state with SplitMix64, per the xoshiro
+    /// authors' recommendation (and bit-identically to `rand 0.8`).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut state);
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type samplable from raw bits with no further parameters (the `rand`
+/// `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut dyn RngCore) -> bool {
+        // High bit of a u32 draw (matches `rand`'s choice of an
+        // arbitrary-but-high-quality bit).
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard(rng: &mut dyn RngCore) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard(rng: &mut dyn RngCore) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+standard_int!(
+    u8 => next_u32, i8 => next_u32, u16 => next_u32, i16 => next_u32,
+    u32 => next_u32, i32 => next_u32,
+    u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64,
+);
+
+/// A type with a uniform sampler over half-open and inclusive ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `lo..hi` (panics if empty).
+    fn sample_range(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    /// Uniform draw from `lo..=hi` (panics if empty).
+    fn sample_range_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics if it is empty.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range_inclusive(lo, hi, rng)
+    }
+}
+
+// Uniform integers via Lemire's widening-multiply reduction with rejection
+// (identical acceptance zones to `rand` 0.8's `sample_single` /
+// `sample_single_inclusive`, so streams line up).
+macro_rules! int_uniform {
+    ($($t:ty => $u:ty, $large:ty, $wide:ty, $draw:ident, $widened:expr);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let range = (hi as $u).wrapping_sub(lo as $u) as $large;
+                let zone = if $widened {
+                    let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                    <$large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = rng.$draw() as $large;
+                    let m = v as $wide * range as $wide;
+                    let (hi_w, lo_w) = ((m >> <$large>::BITS) as $large, m as $large);
+                    if lo_w <= zone {
+                        return lo.wrapping_add(hi_w as $t);
+                    }
+                }
+            }
+            fn sample_range_inclusive(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let range = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1) as $large;
+                if range == 0 {
+                    // Span covers the whole type.
+                    return <$t>::sample_standard(rng);
+                }
+                let zone = if $widened {
+                    let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                    <$large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = rng.$draw() as $large;
+                    let m = v as $wide * range as $wide;
+                    let (hi_w, lo_w) = ((m >> <$large>::BITS) as $large, m as $large);
+                    if lo_w <= zone {
+                        return lo.wrapping_add(hi_w as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+int_uniform!(
+    u8 => u8, u32, u64, next_u32, true;
+    i8 => u8, u32, u64, next_u32, true;
+    u16 => u16, u32, u64, next_u32, true;
+    i16 => u16, u32, u64, next_u32, true;
+    u32 => u32, u32, u64, next_u32, false;
+    i32 => u32, u32, u64, next_u32, false;
+    u64 => u64, u64, u128, next_u64, false;
+    i64 => u64, u64, u128, next_u64, false;
+    usize => usize, u64, u128, next_u64, false;
+    isize => usize, u64, u128, next_u64, false;
+);
+
+macro_rules! float_uniform {
+    ($($t:ty => $draw:ident, $discard:expr, $one_exp:expr);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let mut scale = hi - lo;
+                loop {
+                    // Mantissa bits with the exponent of 1.0 give a uniform
+                    // value in [1, 2); shift down to [0, 1).
+                    let value1_2 =
+                        <$t>::from_bits((rng.$draw() >> $discard) | $one_exp);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + lo;
+                    if res < hi {
+                        return res;
+                    }
+                    // `res` rounded up to `hi`: retry with the next
+                    // smaller scale.
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+            fn sample_range_inclusive(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let scale = hi - lo;
+                let value1_2 = <$t>::from_bits((rng.$draw() >> $discard) | $one_exp);
+                let res = (value1_2 - 1.0) * scale + lo;
+                if res > hi { hi } else { res }
+            }
+        }
+    )*};
+}
+float_uniform!(
+    f32 => next_u32, 9u32, 0x3f80_0000u32;
+    f64 => next_u64, 12u64, 0x3ff0_0000_0000_0000u64;
+);
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A draw from the standard distribution of `T` (full integer range,
+    /// fair `bool`, `[0, 1)` floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vectors() {
+        // Reference outputs for seed 0 from the public-domain
+        // splitmix64.c reference implementation.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(rng.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn small_rng_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-17i32..53);
+            assert!((-17..53).contains(&v));
+            let u = rng.gen_range(3u16..=9);
+            assert!((3..=9).contains(&u));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let s = rng.gen_range(0usize..5);
+            assert!(s < 5);
+        }
+    }
+
+    #[test]
+    fn full_span_inclusive_range_works() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let _: u8 = rng.gen_range(0u8..=u8::MAX);
+            let _: u64 = rng.gen_range(0u64..=u64::MAX);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_support() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4000..6000).contains(&trues), "{trues}");
+    }
+
+    #[test]
+    fn unit_floats_stay_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+}

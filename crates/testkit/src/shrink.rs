@@ -1,0 +1,204 @@
+//! Lazy shrink trees.
+//!
+//! A [`Shrinkable`] pairs a generated value with a lazily computed list of
+//! "slightly smaller" candidate values, each itself a [`Shrinkable`]
+//! (a lazy rose tree, as in Hedgehog-style integrated shrinking). The
+//! property runner walks the tree greedily: among the current node's
+//! children, the first one that still fails the property becomes the new
+//! current node, until no child fails.
+
+use std::rc::Rc;
+
+/// A value plus its lazily computed shrink candidates, ordered most
+/// aggressive first.
+pub struct Shrinkable<T> {
+    /// The generated value.
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Shrinkable<T>>>,
+}
+
+impl<T: Clone> Clone for Shrinkable<T> {
+    fn clone(&self) -> Self {
+        Shrinkable {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Shrinkable<T> {
+    /// A value with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Shrinkable {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value with lazily computed candidates.
+    pub fn new(value: T, children: impl Fn() -> Vec<Shrinkable<T>> + 'static) -> Self {
+        Shrinkable {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// Computes the shrink candidates.
+    pub fn shrinks(&self) -> Vec<Shrinkable<T>> {
+        (self.children)()
+    }
+
+    /// Maps the whole tree through `f`.
+    pub fn map<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Shrinkable<U> {
+        let value = f(&self.value);
+        let inner = self.clone();
+        Shrinkable::new(value, move || {
+            inner
+                .shrinks()
+                .into_iter()
+                .map(|s| s.map(Rc::clone(&f)))
+                .collect()
+        })
+    }
+}
+
+/// Combines two trees into a tree of pairs; either side shrinks
+/// independently while the other is held fixed.
+pub fn zip2<A, B>(a: Shrinkable<A>, b: Shrinkable<B>) -> Shrinkable<(A, B)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let value = (a.value.clone(), b.value.clone());
+    Shrinkable::new(value, move || {
+        let mut out = Vec::new();
+        for sa in a.shrinks() {
+            out.push(zip2(sa, b.clone()));
+        }
+        for sb in b.shrinks() {
+            out.push(zip2(a.clone(), sb));
+        }
+        out
+    })
+}
+
+/// Combines element trees into a tree over the `Vec` of their values.
+///
+/// Shrinks by truncating to the first half, dropping single elements
+/// (never below `min_len`), and shrinking individual elements.
+pub fn zip_vec<T: Clone + 'static>(
+    elems: Vec<Shrinkable<T>>,
+    min_len: usize,
+) -> Shrinkable<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|e| e.value.clone()).collect();
+    Shrinkable::new(value, move || {
+        let n = elems.len();
+        let mut out = Vec::new();
+        let half = n / 2;
+        if half >= min_len && half < n {
+            out.push(zip_vec(elems[..half].to_vec(), min_len));
+        }
+        if n > min_len {
+            for i in 0..n {
+                let mut fewer = elems.clone();
+                fewer.remove(i);
+                out.push(zip_vec(fewer, min_len));
+            }
+        }
+        for i in 0..n {
+            for s in elems[i].shrinks() {
+                let mut smaller = elems.clone();
+                smaller[i] = s;
+                out.push(zip_vec(smaller, min_len));
+            }
+        }
+        out
+    })
+}
+
+/// Integer shrink candidates for `v` toward the origin `lo`: the origin
+/// itself, then bisection steps from far to near (ending at `v - 1`).
+pub fn int_candidates(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(lo);
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let c = v - delta;
+        if c != lo {
+            out.push(c);
+        }
+        delta /= 2;
+    }
+    out
+}
+
+/// Builds the full lazy shrink tree for an integer drawn from a range
+/// starting at `lo`. `back` converts from the wide intermediate type to
+/// the concrete integer type.
+pub fn int_tree<T: Clone + 'static>(
+    lo: i128,
+    v: i128,
+    back: Rc<dyn Fn(i128) -> T>,
+) -> Shrinkable<T> {
+    let value = back(v);
+    Shrinkable::new(value, move || {
+        int_candidates(lo, v)
+            .into_iter()
+            .map(|c| int_tree(lo, c, Rc::clone(&back)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_candidates_move_toward_origin() {
+        assert_eq!(int_candidates(0, 0), Vec::<i128>::new());
+        assert_eq!(int_candidates(0, 1), vec![0]);
+        let c = int_candidates(0, 100);
+        assert_eq!(c[0], 0);
+        assert!(c.contains(&50) && c.contains(&99));
+        assert!(c.iter().all(|&x| x < 100));
+        let neg = int_candidates(-10, -3);
+        assert_eq!(neg[0], -10);
+        assert!(neg.iter().all(|&x| (-10..-3).contains(&x)));
+    }
+
+    #[test]
+    fn zip2_shrinks_each_side() {
+        let a = int_tree(0, 4, Rc::new(|x| x as i32));
+        let b = int_tree(0, 2, Rc::new(|x| x as i32));
+        let pair = zip2(a, b);
+        assert_eq!(pair.value, (4, 2));
+        let shrunk: Vec<(i32, i32)> = pair.shrinks().iter().map(|s| s.value).collect();
+        assert!(shrunk.contains(&(0, 2)));
+        assert!(shrunk.contains(&(4, 0)));
+    }
+
+    #[test]
+    fn vec_shrinks_length_and_elements() {
+        let elems = vec![
+            int_tree(0, 3, Rc::new(|x| x as i32)),
+            int_tree(0, 5, Rc::new(|x| x as i32)),
+        ];
+        let v = zip_vec(elems, 1);
+        assert_eq!(v.value, vec![3, 5]);
+        let shrunk: Vec<Vec<i32>> = v.shrinks().iter().map(|s| s.value.clone()).collect();
+        assert!(shrunk.contains(&vec![3]), "drop-half candidate");
+        assert!(shrunk.contains(&vec![5]), "drop-one candidate");
+        assert!(shrunk.contains(&vec![0, 5]), "element shrink candidate");
+    }
+
+    #[test]
+    fn map_preserves_shrinks() {
+        let t = int_tree(0, 6, Rc::new(|x| x as i32));
+        let doubled = t.map(Rc::new(|v: &i32| v * 2));
+        assert_eq!(doubled.value, 12);
+        assert!(doubled.shrinks().iter().any(|s| s.value == 0));
+    }
+}

@@ -1,0 +1,360 @@
+//! Input generation strategies for the property harness.
+//!
+//! A [`Strategy`] produces a [`Shrinkable`] value from a seeded
+//! [`SmallRng`]. Plain integer ranges (`0u64..5000`, `1usize..=8`) are
+//! strategies; combinators build tuples, mapped values, unions
+//! ([`prop_oneof!`](crate::prop_oneof)), [`option::of`], and
+//! [`collection::vec`].
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::rng::{Rng, SmallRng};
+use crate::shrink::{int_tree, zip2, zip_vec, Shrinkable};
+
+/// Generates shrinkable values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// Draws one value (with its shrink tree) from `rng`.
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Self::Value>;
+}
+
+/// A heap-allocated strategy, for heterogeneous unions.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<T> {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Self::Value> {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> Shrinkable<$t> {
+                let v = rng.gen_range(self.clone());
+                int_tree(self.start as i128, v as i128, Rc::new(|x| x as $t))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> Shrinkable<$t> {
+                let v = rng.gen_range(self.clone());
+                int_tree(*self.start() as i128, v as i128, Rc::new(|x| x as $t))
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+/// Strategy for `bool` drawing both values and shrinking `true → false`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<bool> {
+        if rng.gen::<bool>() {
+            Shrinkable::new(true, || vec![Shrinkable::leaf(false)])
+        } else {
+            Shrinkable::leaf(false)
+        }
+    }
+}
+
+/// Types with a canonical strategy, usable as [`any::<T>()`](any).
+pub trait Arbitrary: Clone + fmt::Debug + 'static {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// A shared mapping function from `T` to `U` (shrink trees re-apply it to
+/// every shrink candidate, hence the `Rc`).
+pub type MapFn<T, U> = Rc<dyn Fn(&T) -> U>;
+
+/// A strategy mapped through a function (see
+/// [`StrategyExt::prop_map`]).
+pub struct Map<S: Strategy, U> {
+    inner: S,
+    f: MapFn<S::Value, U>,
+}
+
+impl<S: Strategy, U: Clone + fmt::Debug + 'static> Strategy for Map<S, U> {
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<U> {
+        self.inner.generate(rng).map(Rc::clone(&self.f))
+    }
+}
+
+/// Combinator methods on every sized strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Transforms generated values; shrinking happens on the pre-image and
+    /// is re-mapped.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, U>
+    where
+        U: Clone + fmt::Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(move |v: &Self::Value| f(v.clone())),
+        }
+    }
+
+    /// Boxes the strategy for use in heterogeneous unions.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}
+
+/// A uniform choice among boxed strategies of one value type. Shrinking
+/// stays within the chosen branch.
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<T> {
+        let i = rng.gen_range(0..self.branches.len());
+        self.branches[i].generate(rng)
+    }
+}
+
+/// Builds a [`Union`]; prefer the [`prop_oneof!`](crate::prop_oneof)
+/// macro.
+///
+/// # Panics
+///
+/// Panics if `branches` is empty.
+pub fn union<T: Clone + fmt::Debug + 'static>(branches: Vec<BoxedStrategy<T>>) -> Union<T> {
+    assert!(!branches.is_empty(), "union of zero strategies");
+    Union { branches }
+}
+
+/// A uniform choice among boxed strategies of one value type.
+///
+/// `prop_oneof![s1, s2, ...]` generates from one of the argument
+/// strategies, chosen uniformly; shrinking stays within the chosen branch.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::StrategyExt::boxed($s)),+
+        ])
+    };
+}
+
+// Tuple strategies: each component shrinks independently.
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Self::Value> {
+        self.0
+            .generate(rng)
+            .map(Rc::new(|a: &A::Value| (a.clone(),)))
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Self::Value> {
+        let a = self.0.generate(rng);
+        let b = self.1.generate(rng);
+        zip2(a, b)
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Self::Value> {
+        let ab = zip2(self.0.generate(rng), self.1.generate(rng));
+        let abc = zip2(ab, self.2.generate(rng));
+        abc.map(Rc::new(|((a, b), c)| (a.clone(), b.clone(), c.clone())))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Self::Value> {
+        let ab = zip2(self.0.generate(rng), self.1.generate(rng));
+        let cd = zip2(self.2.generate(rng), self.3.generate(rng));
+        zip2(ab, cd).map(Rc::new(|((a, b), (c, d))| {
+            (a.clone(), b.clone(), c.clone(), d.clone())
+        }))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Self::Value> {
+        let ab = zip2(self.0.generate(rng), self.1.generate(rng));
+        let cd = zip2(self.2.generate(rng), self.3.generate(rng));
+        let abcd = zip2(ab, cd);
+        zip2(abcd, self.4.generate(rng)).map(Rc::new(|(((a, b), (c, d)), e)| {
+            (a.clone(), b.clone(), c.clone(), d.clone(), e.clone())
+        }))
+    }
+}
+
+/// Strategies over `Option` (mirrors `proptest::option`).
+pub mod option {
+    use super::*;
+
+    /// Generates `Some` from `inner` about three times in four, `None`
+    /// otherwise. `Some(x)` shrinks to `None` first, then into `x`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// An optional value from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    fn some_tree<T: Clone + fmt::Debug + 'static>(x: Shrinkable<T>) -> Shrinkable<Option<T>> {
+        let value = Some(x.value.clone());
+        Shrinkable::new(value, move || {
+            let mut out = vec![Shrinkable::leaf(None)];
+            out.extend(x.shrinks().into_iter().map(some_tree));
+            out
+        })
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Option<S::Value>> {
+            if rng.gen_range(0..4) == 0 {
+                Shrinkable::leaf(None)
+            } else {
+                some_tree(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Strategies over collections (mirrors `proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Generates `Vec`s of `elem` values with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of `elem` values; the length never shrinks below
+    /// `len.start`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Shrinkable<Vec<S::Value>> {
+            let n = rng.gen_range(self.len.clone());
+            let elems = (0..n).map(|_| self.elem.generate(rng)).collect();
+            zip_vec(elems, self.len.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds_and_shrinks_toward_start() {
+        let s = 10i32..20;
+        let mut r = rng();
+        for _ in 0..100 {
+            let sh = s.generate(&mut r);
+            assert!((10..20).contains(&sh.value));
+            for c in sh.shrinks() {
+                assert!((10..sh.value.max(11)).contains(&c.value));
+            }
+        }
+    }
+
+    #[test]
+    fn prop_map_and_oneof_compose() {
+        let s = prop_oneof![
+            (0i32..5).prop_map(|v| v * 2),
+            (10i32..15).prop_map(|v| v * 3),
+        ];
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.generate(&mut r).value;
+            assert!(v % 2 == 0 || v % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn tuple_strategies_flatten() {
+        let s = (0u8..3, 0u16..3, 0u32..3, 0usize..3);
+        let mut r = rng();
+        let sh = s.generate(&mut r);
+        let (a, b, c, d) = sh.value;
+        assert!(a < 3 && b < 3 && c < 3 && d < 3);
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let s = collection::vec(0i32..10, 2..6);
+        let mut r = rng();
+        for _ in 0..50 {
+            let sh = s.generate(&mut r);
+            assert!((2..6).contains(&sh.value.len()));
+            for c in sh.shrinks() {
+                assert!(c.value.len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn option_generates_both_variants() {
+        let s = option::of(0i32..10);
+        let mut r = rng();
+        let vals: Vec<Option<i32>> = (0..100).map(|_| s.generate(&mut r).value).collect();
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().any(Option::is_none));
+        let some = vals.iter().flatten().count();
+        assert!(some > 50, "Some should dominate: {some}");
+    }
+}

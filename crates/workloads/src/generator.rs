@@ -9,8 +9,7 @@
 //! * hierarchy-faithful execution of the allocated kernel computes exactly
 //!   the memory image of the baseline run.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rfh_testkit::rng::{Rng, SeedableRng, SmallRng};
 
 use rfh_isa::{ops, CmpOp, Kernel, KernelBuilder, Operand, PredReg, Reg, SfuOp, Special};
 use rfh_sim::exec::Launch;

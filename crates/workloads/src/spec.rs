@@ -89,8 +89,7 @@ impl fmt::Debug for Workload {
 
 /// Helpers shared by the suite ports.
 pub(crate) mod util {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use rfh_testkit::rng::{Rng, SeedableRng, SmallRng};
 
     /// Deterministic f32 data in `[lo, hi)`.
     pub fn f32_data(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {

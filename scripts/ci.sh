@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Hermetic CI gate: everything here must pass with an empty cargo
+# registry. `--offline` is load-bearing — the workspace has no non-path
+# dependencies (rfh-testkit replaces proptest/rand/criterion in-repo),
+# and this script is what keeps it that way.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline
+
+echo "CI OK"

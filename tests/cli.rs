@@ -1,0 +1,126 @@
+//! End-to-end tests for the `rfhc` compiler driver binary, located via
+//! `CARGO_BIN_EXE_rfhc` (cargo builds the bin for integration tests of
+//! this package automatically).
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+const KERNEL: &str = "
+.kernel axpy
+BB0:
+  mov r0, %tid.x
+  ld.param r1 0
+  iadd r2 r1, r0
+  ld.global r3 r2
+  fmul r4 r3, 2.0f
+  fadd r5 r4, r3
+  st.global r2, r5
+  exit
+";
+
+fn rfhc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rfhc"))
+        .args(args)
+        .output()
+        .expect("spawn rfhc")
+}
+
+fn rfhc_stdin(args: &[&str], stdin: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rfhc"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rfhc");
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    child.wait_with_output().expect("wait rfhc")
+}
+
+fn write_kernel(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("axpy.rfasm");
+    std::fs::write(&path, KERNEL).expect("write kernel");
+    path
+}
+
+#[test]
+fn no_input_is_a_usage_error() {
+    let out = rfhc(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = rfhc(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn oversized_orf_is_rejected() {
+    let out = rfhc(&["--orf", "9", "x.rfasm"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no energy model"));
+}
+
+#[test]
+fn missing_file_is_a_read_error() {
+    let out = rfhc(&["/nonexistent/kernel.rfasm"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn malformed_kernel_is_a_parse_error() {
+    let out = rfhc_stdin(&["-"], "this is not a kernel\n");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rfhc:"));
+}
+
+#[test]
+fn stdin_plain_output_parses_back() {
+    let out = rfhc_stdin(&["--plain", "-"], KERNEL);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf8 output");
+    // `--plain` output is the textual format itself: it must round-trip
+    // through the parser and preserve the instruction count.
+    let reparsed = rfh::isa::parse_kernel(&text).expect("plain output reparses");
+    let original = rfh::isa::parse_kernel(KERNEL).unwrap();
+    assert_eq!(reparsed.instr_count(), original.instr_count());
+    assert_eq!(reparsed.name, original.name);
+}
+
+#[test]
+fn file_input_annotated_output_and_stats() {
+    let dir = std::env::temp_dir().join("rfhc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = write_kernel(&dir);
+
+    let out = rfhc(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("strands"), "stats line on stderr: {stderr}");
+    assert!(!out.stdout.is_empty(), "annotated kernel on stdout");
+
+    // --stats suppresses the kernel itself.
+    let out = rfhc(&["--stats", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn config_flags_change_the_allocation() {
+    // With a 2-entry ORF and no LRF the stats line must reflect the
+    // requested configuration.
+    let out = rfhc_stdin(&["--orf", "2", "--lrf", "none", "--stats", "-"], KERNEL);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2 ORF entries"), "{stderr}");
+    assert!(stderr.contains("no LRF"), "{stderr}");
+    assert!(stderr.contains("0 LRF values"), "{stderr}");
+}

@@ -1,0 +1,138 @@
+//! Checks shared between the property tests (`tests/property.rs`) and the
+//! pinned regression inputs (`tests/regressions.rs`). Each check panics on
+//! violation; the property runner catches and shrinks, `#[test]`s just
+//! fail.
+
+use std::collections::{HashMap, HashSet};
+
+use rfh::alloc::{allocate, validate_placements, AllocConfig};
+use rfh::energy::EnergyModel;
+use rfh::sim::exec::{execute, ExecMode};
+use rfh::sim::sink::{InstrEvent, NullSink, TraceSink};
+use rfh::workloads::generator::{random_program, GenConfig};
+
+/// The headline invariant: for any generated program and any hierarchy
+/// shape, the allocated kernel computes exactly the same memory image as
+/// the baseline, with operands flowing through the modeled ORF/LRF.
+pub fn check_allocated_matches_baseline(seed: u64, cfg: AllocConfig, shape: GenConfig) {
+    let (kernel, launch, mem) = random_program(seed, shape);
+
+    let mut base_mem = mem.clone();
+    let mut sink = NullSink;
+    execute(
+        &kernel,
+        &launch,
+        &mut base_mem,
+        ExecMode::Baseline,
+        &mut [&mut sink],
+    )
+    .unwrap();
+
+    let mut allocated = kernel.clone();
+    allocate(&mut allocated, &cfg, &EnergyModel::paper());
+    validate_placements(&allocated, &cfg).unwrap();
+
+    let mut hier_mem = mem.clone();
+    execute(
+        &allocated,
+        &launch,
+        &mut hier_mem,
+        ExecMode::Hierarchy(cfg),
+        &mut [&mut sink],
+    )
+    .unwrap();
+
+    assert_eq!(base_mem.words(), hier_mem.words());
+}
+
+/// Liveness annotations are sound: an operand flagged dead is never read
+/// again before a redefinition (checked dynamically per warp).
+pub fn check_dead_after_flags(seed: u64, shape: GenConfig) {
+    #[derive(Default)]
+    struct DeadChecker {
+        // per warp: registers currently flagged dead
+        dead: HashMap<usize, HashSet<u16>>,
+        violation: Option<String>,
+    }
+    impl TraceSink for DeadChecker {
+        fn on_instr(&mut self, ev: &InstrEvent<'_>) {
+            // The flags are path-sensitive ("last read on this path") but
+            // this checker sees a serialized interleaving of divergent
+            // paths, so it only *marks* registers dead during fully
+            // convergent, unpredicated execution — where dynamic order
+            // equals path order — and checks reads always.
+            let converged = ev.active_mask == u32::MAX && ev.exec_mask == ev.active_mask;
+            let dead = self.dead.entry(ev.warp).or_default();
+            let mut to_mark = Vec::new();
+            for (slot, src) in ev.instr.srcs.iter().enumerate() {
+                if let Some(r) = src.as_reg() {
+                    if dead.contains(&r.index()) && self.violation.is_none() {
+                        self.violation =
+                            Some(format!("warp {} read dead {r} at {}", ev.warp, ev.at));
+                    }
+                    if ev.instr.dead_after[slot] && converged {
+                        to_mark.push(r.index());
+                    }
+                }
+            }
+            dead.extend(to_mark);
+            // Definitions revive the register (a guarded def makes the old
+            // value unobservable only for some lanes, but the flag
+            // semantics already account for that via liveness).
+            for r in ev.instr.def_regs() {
+                dead.remove(&r.index());
+            }
+        }
+    }
+
+    let (mut kernel, launch, mut mem) = random_program(seed, shape);
+    let lv = rfh::analysis::Liveness::compute(&kernel);
+    rfh::analysis::liveness::annotate_dead(&mut kernel, &lv);
+    let mut checker = DeadChecker::default();
+    execute(
+        &kernel,
+        &launch,
+        &mut mem,
+        ExecMode::Baseline,
+        &mut [&mut checker],
+    )
+    .unwrap();
+    assert!(checker.violation.is_none(), "{:?}", checker.violation);
+}
+
+/// Strand partitioning is consistent: every strand's instructions are
+/// layout-contiguous, exactly the last one carries the end bit, and every
+/// instruction belongs to exactly one strand.
+pub fn check_strand_partition(seed: u64, shape: GenConfig) {
+    let (mut kernel, _, _) = random_program(seed, shape);
+    let info = rfh::analysis::strand::mark_strands(&mut kernel);
+    let mut covered = 0usize;
+    for s in &info.strands {
+        covered += s.instrs.len();
+        for (i, at) in s.instrs.iter().enumerate() {
+            let instr = kernel.instr(*at);
+            let last = i + 1 == s.instrs.len();
+            assert!(
+                !instr.ends_strand || last,
+                "interior instruction with end bit in strand {:?}",
+                s.id
+            );
+            assert_eq!(info.strand_of(*at), s.id);
+        }
+        // Layout contiguity.
+        for w in s.instrs.windows(2) {
+            let a = (w[0].block.index(), w[0].index);
+            let b = (w[1].block.index(), w[1].index);
+            assert!(b == (a.0, a.1 + 1) || (b.0 > a.0 && b.1 == 0));
+        }
+    }
+    assert_eq!(covered, kernel.instr_count());
+}
+
+/// The textual format round-trips the generated kernel exactly.
+pub fn check_text_round_trip(seed: u64, shape: GenConfig) {
+    let (kernel, _, _) = random_program(seed, shape);
+    let text = rfh::isa::printer::print_kernel(&kernel);
+    let parsed = rfh::isa::parse_kernel(&text).unwrap();
+    assert_eq!(parsed, kernel);
+}

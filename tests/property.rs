@@ -1,14 +1,16 @@
 //! Property-based tests over randomly generated kernels: for arbitrary
 //! programs, allocation must produce validator-clean placements and
 //! hierarchy-faithful execution must compute exactly the baseline result.
+//!
+//! Failures print an `RFH_TESTKIT_SEED` that reproduces the (shrunk)
+//! input; pin any newly found counterexample in `tests/regressions.rs`.
 
-use proptest::prelude::*;
+mod common;
 
-use rfh::alloc::{allocate, validate_placements, AllocConfig};
-use rfh::energy::EnergyModel;
-use rfh::sim::exec::{execute, ExecMode};
-use rfh::sim::sink::NullSink;
-use rfh::workloads::generator::{random_program, GenConfig};
+use rfh_testkit::prelude::*;
+
+use rfh::alloc::AllocConfig;
+use rfh::workloads::generator::GenConfig;
 
 fn arb_config() -> impl Strategy<Value = AllocConfig> {
     (1usize..=8, 0u8..3, any::<bool>(), any::<bool>()).prop_map(|(entries, lrf, pr, ro)| {
@@ -34,124 +36,41 @@ fn arb_shape() -> impl Strategy<Value = GenConfig> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop! {
+    #![config(cases = 64)]
 
     /// The headline invariant: for any generated program and any hierarchy
     /// shape, the allocated kernel computes exactly the same memory image
     /// as the baseline, with operands flowing through the modeled ORF/LRF.
-    #[test]
     fn allocated_execution_matches_baseline(seed in 0u64..5000, cfg in arb_config(), shape in arb_shape()) {
-        let (kernel, launch, mem) = random_program(seed, shape);
-
-        let mut base_mem = mem.clone();
-        let mut sink = NullSink;
-        execute(&kernel, &launch, &mut base_mem, ExecMode::Baseline, &mut [&mut sink]).unwrap();
-
-        let mut allocated = kernel.clone();
-        allocate(&mut allocated, &cfg, &EnergyModel::paper());
-        validate_placements(&allocated, &cfg).unwrap();
-
-        let mut hier_mem = mem.clone();
-        execute(&allocated, &launch, &mut hier_mem, ExecMode::Hierarchy(cfg), &mut [&mut sink]).unwrap();
-
-        prop_assert_eq!(base_mem.words(), hier_mem.words());
+        common::check_allocated_matches_baseline(seed, cfg, shape);
     }
 
     /// Liveness annotations are sound: an operand flagged dead is never
     /// read again before a redefinition (checked dynamically per warp).
-    #[test]
     fn dead_after_flags_are_sound(seed in 0u64..2000, shape in arb_shape()) {
-        use rfh::sim::sink::{InstrEvent, TraceSink};
-        use std::collections::HashMap;
-
-        #[derive(Default)]
-        struct DeadChecker {
-            // per warp: registers currently flagged dead
-            dead: HashMap<usize, std::collections::HashSet<u16>>,
-            violation: Option<String>,
-        }
-        impl TraceSink for DeadChecker {
-            fn on_instr(&mut self, ev: &InstrEvent<'_>) {
-                // The flags are path-sensitive ("last read on this path")
-                // but this checker sees a serialized interleaving of
-                // divergent paths, so it only *marks* registers dead during
-                // fully convergent, unpredicated execution — where dynamic
-                // order equals path order — and checks reads always.
-                let converged = ev.active_mask == u32::MAX && ev.exec_mask == ev.active_mask;
-                let dead = self.dead.entry(ev.warp).or_default();
-                let mut to_mark = Vec::new();
-                for (slot, src) in ev.instr.srcs.iter().enumerate() {
-                    if let Some(r) = src.as_reg() {
-                        if dead.contains(&r.index()) && self.violation.is_none() {
-                            self.violation =
-                                Some(format!("warp {} read dead {r} at {}", ev.warp, ev.at));
-                        }
-                        if ev.instr.dead_after[slot] && converged {
-                            to_mark.push(r.index());
-                        }
-                    }
-                }
-                dead.extend(to_mark);
-                // Definitions revive the register (a guarded def makes the
-                // old value unobservable only for some lanes, but the flag
-                // semantics already account for that via liveness).
-                for r in ev.instr.def_regs() {
-                    dead.remove(&r.index());
-                }
-            }
-        }
-
-        let (mut kernel, launch, mut mem) = random_program(seed, shape);
-        let lv = rfh::analysis::Liveness::compute(&kernel);
-        rfh::analysis::liveness::annotate_dead(&mut kernel, &lv);
-        let mut checker = DeadChecker::default();
-        execute(&kernel, &launch, &mut mem, ExecMode::Baseline, &mut [&mut checker]).unwrap();
-        prop_assert!(checker.violation.is_none(), "{:?}", checker.violation);
+        common::check_dead_after_flags(seed, shape);
     }
 
     /// Strand partitioning is consistent: every strand's instructions are
     /// layout-contiguous, exactly the last one carries the end bit, and
     /// every instruction belongs to exactly one strand.
-    #[test]
     fn strand_partition_is_well_formed(seed in 0u64..2000, shape in arb_shape()) {
-        let (mut kernel, _, _) = random_program(seed, shape);
-        let info = rfh::analysis::strand::mark_strands(&mut kernel);
-        let mut covered = 0usize;
-        for s in &info.strands {
-            covered += s.instrs.len();
-            for (i, at) in s.instrs.iter().enumerate() {
-                let instr = kernel.instr(*at);
-                let last = i + 1 == s.instrs.len();
-                prop_assert_eq!(instr.ends_strand && !last, false,
-                    "interior instruction with end bit in strand {:?}", s.id);
-                prop_assert_eq!(info.strand_of(*at), s.id);
-            }
-            // Layout contiguity.
-            for w in s.instrs.windows(2) {
-                let a = (w[0].block.index(), w[0].index);
-                let b = (w[1].block.index(), w[1].index);
-                prop_assert!(b == (a.0, a.1 + 1) || (b.0 > a.0 && b.1 == 0));
-            }
-        }
-        prop_assert_eq!(covered, kernel.instr_count());
+        common::check_strand_partition(seed, shape);
     }
 
     /// The textual format round-trips arbitrary generated kernels.
-    #[test]
     fn text_round_trip(seed in 0u64..2000, shape in arb_shape()) {
-        let (kernel, _, _) = random_program(seed, shape);
-        let text = rfh::isa::printer::print_kernel(&kernel);
-        let parsed = rfh::isa::parse_kernel(&text).unwrap();
-        prop_assert_eq!(parsed, kernel);
+        common::check_text_round_trip(seed, shape);
     }
 
     /// The two-level scheduler never deadlocks and always issues every
     /// instruction, at any active-set size.
-    #[test]
     fn scheduler_conserves_instructions(seed in 0u64..500, active in 1usize..12) {
+        use rfh::sim::exec::{execute, ExecMode};
         use rfh::sim::machine::MachineConfig;
         use rfh::sim::timing::{simulate_timing, TimingConfig, TraceCapture};
+        use rfh::workloads::generator::random_program;
 
         let (kernel, launch, mut mem) = random_program(seed, GenConfig::default());
         let machine = MachineConfig::paper();

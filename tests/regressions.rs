@@ -1,0 +1,49 @@
+//! Pinned inputs from past property-test failures, ported from the old
+//! `proptest-regressions` seed file so they survive the switch to
+//! `rfh-testkit` (whose seeds are incompatible with proptest's).
+//!
+//! When a property in `tests/property.rs` fails, it prints the shrunk
+//! minimal input — pin it here as a plain `#[test]` so every future run
+//! retries the exact counterexample before any new cases are explored.
+
+mod common;
+
+use rfh::alloc::{AllocConfig, LrfMode};
+use rfh::workloads::generator::GenConfig;
+
+/// Historic `allocated_execution_matches_baseline` counterexample: a
+/// two-level read-operand-only configuration on a loop-heavy kernel.
+#[test]
+fn alloc_matches_baseline_seed_999_read_operands_only() {
+    let cfg = AllocConfig {
+        orf_entries: 3,
+        lrf: LrfMode::None,
+        partial_ranges: false,
+        read_operands: true,
+        ideal_no_deschedule_split: false,
+        occupancy_priority: true,
+    };
+    let shape = GenConfig {
+        segments: 8,
+        run_len: 7,
+        max_trips: 2,
+        pool: 5,
+    };
+    common::check_allocated_matches_baseline(999, cfg, shape);
+}
+
+/// Historic counterexample for the `(seed, shape)` family of properties;
+/// the original failure was shrunk to this small single-trip shape, so all
+/// three structural properties are re-checked on it.
+#[test]
+fn seed_538_small_shape_structural_properties() {
+    let shape = GenConfig {
+        segments: 7,
+        run_len: 5,
+        max_trips: 1,
+        pool: 4,
+    };
+    common::check_dead_after_flags(538, shape);
+    common::check_strand_partition(538, shape);
+    common::check_text_round_trip(538, shape);
+}
