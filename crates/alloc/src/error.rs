@@ -1,0 +1,67 @@
+//! Allocator error taxonomy.
+//!
+//! `rfh-alloc` is panic-free: every public entry point returns a `Result`
+//! and internal invariant failures degrade to an all-MRF placement (see
+//! [`crate::allocate`]) rather than aborting. The error cases that *are*
+//! reported to the caller are listed here.
+
+use std::fmt;
+
+use rfh_isa::IsaError;
+
+/// An error from the allocation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The input kernel failed [`rfh_isa::validate`]; allocation requires a
+    /// structurally valid kernel.
+    InvalidKernel(IsaError),
+    /// The allocation configuration is internally inconsistent (for
+    /// example, an LRF pass requested with [`crate::LrfMode::None`]).
+    Config(String),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::InvalidKernel(e) => write!(f, "invalid input kernel: {e}"),
+            AllocError::Config(msg) => write!(f, "invalid allocation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::InvalidKernel(e) => Some(e),
+            AllocError::Config(_) => None,
+        }
+    }
+}
+
+impl From<IsaError> for AllocError {
+    fn from(e: IsaError) -> Self {
+        AllocError::InvalidKernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_wraps_isa_error() {
+        let e = AllocError::from(IsaError::Validate {
+            at: "BB0".into(),
+            msg: "boom".into(),
+        });
+        let s = e.to_string();
+        assert!(s.contains("invalid input kernel"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn config_error_displays_message() {
+        let e = AllocError::Config("LRF pass with LrfMode::None".into());
+        assert!(e.to_string().contains("LrfMode::None"));
+    }
+}

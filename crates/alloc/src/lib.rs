@@ -53,20 +53,28 @@
 //!   exit
 //! ").unwrap();
 //!
-//! let stats = allocate(&mut kernel, &AllocConfig::three_level(3, true), &EnergyModel::paper());
+//! let stats = allocate(&mut kernel, &AllocConfig::three_level(3, true), &EnergyModel::paper())
+//!     .expect("structurally valid kernel");
 //! assert!(stats.orf_values + stats.lrf_values > 0);
 //! // Every placement is proven consistent before `allocate` returns, but
 //! // it can also be re-checked explicitly:
 //! rfh_alloc::validate_placements(&kernel, &AllocConfig::three_level(3, true)).unwrap();
 //! ```
+//!
+//! `allocate` never panics: invalid kernels are rejected with
+//! [`AllocError`], and an internal placement-validation failure demotes the
+//! kernel to the MRF-only baseline (reported via [`AllocStats::demoted`])
+//! instead of aborting.
 
 pub mod config;
 pub mod costs;
+pub mod error;
 pub mod interval;
 pub mod pass;
 pub mod validate;
 
 pub use config::{AllocConfig, LrfMode};
 pub use costs::Costs;
+pub use error::AllocError;
 pub use pass::{allocate, AllocStats};
 pub use validate::validate_placements;

@@ -11,6 +11,7 @@ use rfh_isa::{Kernel, ReadLoc, Unit, Width, WriteLoc};
 
 use crate::config::{AllocConfig, LrfMode};
 use crate::costs::Costs;
+use crate::error::AllocError;
 use crate::interval::Occupancy;
 use crate::validate::validate_placements;
 
@@ -27,6 +28,40 @@ pub struct AllocStats {
     pub orf_partial: usize,
     /// Read-operand ranges allocated to the ORF (§4.4), full or partial.
     pub read_operands: usize,
+    /// 1 when the kernel was demoted to MRF-only placement because the
+    /// allocator's own output failed [`validate_placements`] — graceful
+    /// degradation instead of an abort. Always correct (the MRF baseline
+    /// needs no annotations), never optimal; a nonzero count indicates an
+    /// allocator bug worth reporting.
+    pub demoted: usize,
+}
+
+/// Number of LRF banks for an enabled LRF mode.
+///
+/// # Errors
+///
+/// Returns [`AllocError::Config`] for [`LrfMode::None`]: the LRF pass must
+/// not run at all when the LRF is disabled.
+fn lrf_banks(mode: LrfMode) -> Result<usize, AllocError> {
+    match mode {
+        LrfMode::Unified => Ok(1),
+        LrfMode::Split => Ok(3),
+        LrfMode::None => Err(AllocError::Config(
+            "LRF pass invoked with LrfMode::None".into(),
+        )),
+    }
+}
+
+/// Resets every placement annotation to the single-level MRF baseline.
+fn reset_placements(kernel: &mut Kernel) {
+    for b in kernel.blocks.iter_mut() {
+        for i in b.instrs.iter_mut() {
+            i.write_loc = WriteLoc::Mrf;
+            for loc in i.read_locs.iter_mut() {
+                *loc = ReadLoc::Mrf;
+            }
+        }
+    }
 }
 
 /// A unit of allocation: either a merge group of produced values, or a
@@ -193,16 +228,12 @@ fn allocate_strand(
     costs: &Costs,
     dom: &DomTree,
     stats: &mut AllocStats,
-) {
+) -> Result<(), AllocError> {
     let mut lrf_allocated: HashSet<usize> = HashSet::new();
 
     // ---------------- LRF pass ----------------
     if config.lrf.enabled() {
-        let banks = match config.lrf {
-            LrfMode::Unified => 1,
-            LrfMode::Split => 3,
-            LrfMode::None => unreachable!(),
-        };
+        let banks = lrf_banks(config.lrf)?;
         let mut occ = Occupancy::new(banks);
         let mut cands: Vec<(usize, Vec<ReadRef>, usize, f64, f64)> = Vec::new();
         for (g, members) in sv.groups.iter().enumerate() {
@@ -238,7 +269,7 @@ fn allocate_strand(
                 .iter()
                 .map(|&m| sv.instances[m].def_pos)
                 .min()
-                .unwrap();
+                .expect("merge groups are nonempty");
             let last = reads.iter().map(|r| r.pos).max().unwrap_or(def);
             let (begin, end) = write_interval(def, last);
             cands.push((
@@ -256,7 +287,7 @@ fn allocate_strand(
                 .iter()
                 .map(|&m| sv.instances[m].def_pos)
                 .min()
-                .unwrap();
+                .expect("merge groups are nonempty");
             let last = reads.iter().map(|r| r.pos).max().unwrap_or(def);
             let (begin, end) = write_interval(def, last);
             if occ.available(bank, begin, end) {
@@ -275,7 +306,7 @@ fn allocate_strand(
 
     // ---------------- ORF pass ----------------
     if config.orf_entries == 0 {
-        return;
+        return Ok(());
     }
     let mut occ = Occupancy::new(config.orf_entries);
     let mut cands: Vec<Cand> = Vec::new();
@@ -302,7 +333,7 @@ fn allocate_strand(
             .iter()
             .map(|&m| sv.instances[m].def_pos)
             .min()
-            .unwrap();
+            .expect("merge groups are nonempty");
         let last = reads.iter().map(|r| r.pos).max().unwrap_or(def);
         let (begin, end) = write_interval(def, last);
         cands.push(Cand {
@@ -324,7 +355,10 @@ fn allocate_strand(
             if savings <= 0.0 {
                 continue;
             }
-            let (begin, end) = fill_interval(covered[0].pos, covered.last().unwrap().pos);
+            let (begin, end) = fill_interval(
+                covered[0].pos,
+                covered.last().expect("coverage includes the fill").pos,
+            );
             cands.push(Cand {
                 kind: CandKind::ReadOp(i),
                 priority: priority_of_cfg(config, savings, begin, end),
@@ -374,7 +408,8 @@ fn allocate_strand(
                     if savings <= 0.0 {
                         break;
                     }
-                    let end = (2 * kept.last().unwrap().pos).max(cand.begin);
+                    let end =
+                        (2 * kept.last().expect("kept reads are nonempty").pos).max(cand.begin);
                     if let Some(base) = occ.find_free(cand.begin, end, cand.width_slots) {
                         occ.allocate_wide(base, cand.begin, end, cand.width_slots);
                         apply_write_group(kernel, sv, members, kept, base as u8, true);
@@ -395,7 +430,10 @@ fn allocate_strand(
                     if savings <= 0.0 {
                         break;
                     }
-                    let (b, e) = fill_interval(kept[0].pos, kept.last().unwrap().pos);
+                    let (b, e) = fill_interval(
+                        kept[0].pos,
+                        kept.last().expect("kept reads are nonempty").pos,
+                    );
                     if let Some(base) = occ.find_free(b, e, 1) {
                         occ.allocate(base, b, e);
                         apply_read_operand(kernel, kept, base as u8);
@@ -410,30 +448,36 @@ fn allocate_strand(
             }
         }
     }
+    Ok(())
 }
 
 /// Runs the full allocation pipeline on a kernel:
 ///
-/// 1. clears existing placements (idempotent),
-/// 2. marks strands and annotates static liveness,
-/// 3. allocates every strand (LRF pass, then ORF pass),
-/// 4. proves the resulting placements consistent with
+/// 1. validates the input kernel ([`rfh_isa::validate`]),
+/// 2. clears existing placements (idempotent),
+/// 3. marks strands and annotates static liveness,
+/// 4. allocates every strand (LRF pass, then ORF pass),
+/// 5. proves the resulting placements consistent with
 ///    [`validate_placements`].
 ///
-/// # Panics
+/// If step 5 ever fails — an allocator bug, not a caller error — the kernel
+/// is *demoted*: all placements are reset to the single-level MRF baseline
+/// (always architecturally correct) and [`AllocStats::demoted`] is set, so
+/// callers keep a working pipeline and a signal to report.
 ///
-/// Panics if the allocator produces placements that fail validation — that
-/// is a bug in this crate, not in the caller's kernel.
-pub fn allocate(kernel: &mut Kernel, config: &AllocConfig, model: &EnergyModel) -> AllocStats {
+/// # Errors
+///
+/// Returns [`AllocError::InvalidKernel`] when the input kernel fails
+/// structural validation, and [`AllocError::Config`] when the configuration
+/// is internally inconsistent. This function does not panic.
+pub fn allocate(
+    kernel: &mut Kernel,
+    config: &AllocConfig,
+    model: &EnergyModel,
+) -> Result<AllocStats, AllocError> {
+    rfh_isa::validate(kernel)?;
     // Reset all placements to the single-level baseline.
-    for b in kernel.blocks.iter_mut() {
-        for i in b.instrs.iter_mut() {
-            i.write_loc = WriteLoc::Mrf;
-            for loc in i.read_locs.iter_mut() {
-                *loc = ReadLoc::Mrf;
-            }
-        }
-    }
+    reset_placements(kernel);
 
     let info = mark_strands_opts(
         kernel,
@@ -449,23 +493,35 @@ pub fn allocate(kernel: &mut Kernel, config: &AllocConfig, model: &EnergyModel) 
         ..Default::default()
     };
     if config.is_baseline() {
-        return stats;
+        return Ok(stats);
     }
 
     let costs = Costs::from_model(model, config.orf_entries);
     let dom = DomTree::dominators(kernel);
     let values = all_strand_values(kernel, &info, &liveness);
     for sv in &values {
-        allocate_strand(kernel, sv, config, &costs, &dom, &mut stats);
+        allocate_strand(kernel, sv, config, &costs, &dom, &mut stats)?;
     }
 
-    validate_placements(kernel, config).unwrap_or_else(|e| {
-        panic!(
-            "allocator produced invalid placements for `{}`: {e}",
-            kernel.name
-        )
-    });
-    stats
+    if validate_placements(kernel, config).is_err() {
+        stats = demote_to_mrf(kernel, stats);
+    }
+    Ok(stats)
+}
+
+/// Graceful degradation: discards all hierarchy placements, leaving the
+/// kernel on the always-correct MRF-only baseline, and records the demotion
+/// in the returned stats.
+fn demote_to_mrf(kernel: &mut Kernel, stats: AllocStats) -> AllocStats {
+    reset_placements(kernel);
+    AllocStats {
+        strands: stats.strands,
+        lrf_values: 0,
+        orf_values: 0,
+        orf_partial: 0,
+        read_operands: 0,
+        demoted: stats.demoted + 1,
+    }
 }
 
 /// Convenience: the registers an instruction reads from each hierarchy
@@ -530,8 +586,45 @@ mod tests {
 
     fn alloc(text: &str, config: AllocConfig) -> (Kernel, AllocStats) {
         let mut k = parse_kernel(text).unwrap();
-        let stats = allocate(&mut k, &config, &EnergyModel::paper());
+        let stats = allocate(&mut k, &config, &EnergyModel::paper()).expect("valid kernel");
         (k, stats)
+    }
+
+    #[test]
+    fn lrf_banks_rejects_disabled_mode() {
+        assert_eq!(lrf_banks(LrfMode::Unified).unwrap(), 1);
+        assert_eq!(lrf_banks(LrfMode::Split).unwrap(), 3);
+        let e = lrf_banks(LrfMode::None).unwrap_err();
+        assert!(matches!(e, AllocError::Config(_)), "{e}");
+        assert!(e.to_string().contains("LrfMode::None"), "{e}");
+    }
+
+    #[test]
+    fn invalid_kernel_is_an_error_not_a_panic() {
+        // Mid-block control transfer: structurally invalid.
+        let mut k = parse_kernel(".kernel k\nBB0:\n  iadd r1 r0, 1\n  exit\n").unwrap();
+        k.blocks[0].instrs.swap(0, 1);
+        let e = allocate(&mut k, &AllocConfig::two_level(3), &EnergyModel::paper()).unwrap_err();
+        assert!(matches!(e, AllocError::InvalidKernel(_)), "{e}");
+    }
+
+    #[test]
+    fn demotion_resets_placements_and_counts() {
+        let text = ".kernel d\nBB0:\n  iadd r1 r0, 1\n  st.global r0, r1\n  exit\n";
+        let mut k = parse_kernel(text).unwrap();
+        let stats = allocate(&mut k, &AllocConfig::two_level(3), &EnergyModel::paper()).unwrap();
+        assert!(stats.orf_values > 0, "precondition: something allocated");
+        let demoted = demote_to_mrf(&mut k, stats);
+        assert_eq!(demoted.demoted, 1);
+        assert_eq!(demoted.strands, stats.strands);
+        assert_eq!(
+            (demoted.lrf_values, demoted.orf_values, demoted.orf_partial),
+            (0, 0, 0)
+        );
+        let (lrf, orf, _) = read_level_counts(&k);
+        assert_eq!((lrf, orf), (0, 0), "all reads back on the MRF");
+        // The demoted kernel is trivially valid under any config.
+        validate_placements(&k, &AllocConfig::two_level(3)).unwrap();
     }
 
     #[test]
@@ -778,9 +871,9 @@ BB0:
         let mut k = parse_kernel(text).unwrap();
         let cfg = AllocConfig::three_level(3, true);
         let model = EnergyModel::paper();
-        allocate(&mut k, &cfg, &model);
+        allocate(&mut k, &cfg, &model).unwrap();
         let once = k.clone();
-        allocate(&mut k, &cfg, &model);
+        allocate(&mut k, &cfg, &model).unwrap();
         assert_eq!(k, once);
     }
 
@@ -863,7 +956,7 @@ mod partial_range_tests {
             partial_ranges: true,
             ..cfg
         };
-        let stats = allocate(&mut k, &cfg, &EnergyModel::paper());
+        let stats = allocate(&mut k, &cfg, &EnergyModel::paper()).unwrap();
         assert!(
             stats.orf_partial >= 1,
             "expected a partial allocation, got {stats:?}"

@@ -34,7 +34,7 @@ BB3:
     .unwrap();
     let model = EnergyModel::default();
     let cfg = AllocConfig::default();
-    allocate(&mut k, &cfg, &model);
+    allocate(&mut k, &cfg, &model).unwrap();
     rfh_alloc::validate_placements(&k, &cfg).unwrap();
     // The overlapped halves (r5, r6) must be read from the MRF.
     for (at, i) in k.iter_instrs() {

@@ -90,7 +90,7 @@ fn bench_simulator(c: &mut Criterion) {
     g.bench_function("execute_hierarchy_counted", |b| {
         let cfg = AllocConfig::three_level(3, true);
         let mut kernel = w.kernel.clone();
-        allocate(&mut kernel, &cfg, &model);
+        allocate(&mut kernel, &cfg, &model).expect("workload kernels allocate");
         b.iter_batched(
             || w.memory.clone(),
             |mut mem| {

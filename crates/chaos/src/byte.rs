@@ -1,0 +1,112 @@
+//! Byte-level mutators over the textual assembly format.
+//!
+//! These model corruption *below* the parser: truncated files, garbage
+//! bytes (including sequences that are not valid UTF-8 — the harness
+//! passes them through the same lossy decode a file reader would),
+//! bit flips, deleted spans, duplicated lines, and spliced tokens. The
+//! parser's contract is that any such input produces `IsaError::Parse`
+//! or a kernel that survives validation — never a panic.
+
+use rfh_testkit::prelude::*;
+
+/// Applies 1–3 random byte-level corruptions to `text` and returns the
+/// result decoded back to a string (lossily, since mutations can destroy
+/// UTF-8 validity — exactly what a file reader would hand the parser).
+pub fn mutate_text(text: &str, rng: &mut SmallRng) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    let rounds = rng.gen_range(1usize..=3);
+    for _ in 0..rounds {
+        mutate_once(&mut bytes, rng);
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn mutate_once(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
+    if bytes.is_empty() {
+        bytes.push(rng.gen::<u8>());
+        return;
+    }
+    match rng.gen_range(0u32..6) {
+        // Truncation: cut the tail at an arbitrary byte (possibly inside
+        // a UTF-8 sequence or mid-token).
+        0 => {
+            let at = rng.gen_range(0..bytes.len());
+            bytes.truncate(at);
+        }
+        // Garbage splice: insert 1–8 arbitrary bytes anywhere.
+        1 => {
+            let at = rng.gen_range(0..=bytes.len());
+            let len = rng.gen_range(1usize..=8);
+            let garbage: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+            bytes.splice(at..at, garbage);
+        }
+        // Bit flip in place.
+        2 => {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << rng.gen_range(0u32..8);
+        }
+        // Delete a short span.
+        3 => {
+            let a = rng.gen_range(0..bytes.len());
+            let b = (a + rng.gen_range(1usize..=16)).min(bytes.len());
+            bytes.drain(a..b);
+        }
+        // Duplicate one line after itself (e.g. a second `.kernel` header
+        // or a repeated label).
+        4 => {
+            let starts: Vec<usize> = std::iter::once(0)
+                .chain(
+                    bytes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, b)| **b == b'\n')
+                        .map(|(i, _)| i + 1),
+                )
+                .filter(|&s| s < bytes.len())
+                .collect();
+            if let Some(&start) = starts.get(rng.gen_range(0..starts.len().max(1))) {
+                let end = bytes[start..]
+                    .iter()
+                    .position(|b| *b == b'\n')
+                    .map(|p| start + p + 1)
+                    .unwrap_or(bytes.len());
+                let line: Vec<u8> = bytes[start..end].to_vec();
+                bytes.splice(end..end, line);
+            }
+        }
+        // Token splice: copy a short span to a random position, stitching
+        // together fragments of valid syntax.
+        _ => {
+            let a = rng.gen_range(0..bytes.len());
+            let b = (a + rng.gen_range(1usize..=12)).min(bytes.len());
+            let tok: Vec<u8> = bytes[a..b].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.splice(at..at, tok);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let text = ".kernel t\nBB0:\n  iadd r1 r0, 1\n  exit\n";
+        let a = mutate_text(text, &mut SmallRng::seed_from_u64(42));
+        let b = mutate_text(text, &mut SmallRng::seed_from_u64(42));
+        let c = mutate_text(text, &mut SmallRng::seed_from_u64(43));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (almost always) differ");
+    }
+
+    #[test]
+    fn mutations_cover_non_utf8_garbage() {
+        // Over many seeds, at least one splice must have produced bytes
+        // that required lossy decoding (replacement character present).
+        let text = ".kernel t\nBB0:\n  iadd r1 r0, 1\n  exit\n";
+        let found = (0..200u64)
+            .any(|s| mutate_text(text, &mut SmallRng::seed_from_u64(s)).contains('\u{FFFD}'));
+        assert!(found, "garbage splices never produced invalid UTF-8");
+    }
+}

@@ -1,0 +1,298 @@
+//! The trichotomy driver.
+//!
+//! Each `run_*_layer` function fuzzes one pipeline layer with seeded
+//! mutants of a workload's kernel and classifies every case:
+//!
+//! * **rejected** — a structured error from parse/validate/allocate;
+//! * **identical** — the mutant passed validation and differential
+//!   execution (baseline vs. hierarchy-faithful, or mutant vs. reference
+//!   for placements) produced bit-identical memory images;
+//! * **structured** — the mutant executes to a structured runtime error
+//!   (out-of-bounds access, instruction budget) *in both modes*;
+//! * **flagged** — placement layer only: `validate_placements` caught the
+//!   corruption;
+//! * **unchanged** — the mutation happened to be a no-op.
+//!
+//! Anything else — a panic, an execution-mode asymmetry, or an unflagged
+//! placement corruption that changes results — aborts the run with a
+//! message naming the case seed, replayable via `RFH_TESTKIT_SEED`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rfh_alloc::{allocate, validate_placements, AllocConfig};
+use rfh_energy::EnergyModel;
+use rfh_isa::Kernel;
+use rfh_sim::exec::{execute_with, ExecMode};
+use rfh_sim::machine::MachineConfig;
+use rfh_testkit::prelude::*;
+use rfh_workloads::Workload;
+
+use crate::{byte, ir, place};
+
+/// Aggregate classification of one layer's mutant population.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Total mutants generated.
+    pub cases: usize,
+    /// Rejected with a structured error before execution.
+    pub rejected: usize,
+    /// Validated and differentially identical.
+    pub identical: usize,
+    /// Structured runtime error, symmetric across execution modes.
+    pub structured: usize,
+    /// Caught by `validate_placements` (placement layer only).
+    pub flagged: usize,
+    /// The mutation was a no-op on the artifact.
+    pub unchanged: usize,
+}
+
+impl std::fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cases: {} rejected, {} identical, {} structured, {} flagged, {} unchanged",
+            self.cases,
+            self.rejected,
+            self.identical,
+            self.structured,
+            self.flagged,
+            self.unchanged
+        )
+    }
+}
+
+enum CaseOutcome {
+    Rejected,
+    Identical,
+    Structured,
+    Flagged,
+    Unchanged,
+}
+
+/// Per-layer case budget: `RFH_CHAOS_CASES` if set, else `default_cases`.
+pub fn cases_from_env(default_cases: usize) -> usize {
+    std::env::var("RFH_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_cases)
+}
+
+/// Base seed: `RFH_TESTKIT_SEED` if set, else `default_seed`.
+pub fn seed_from_env(default_seed: u64) -> u64 {
+    std::env::var("RFH_TESTKIT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_seed)
+}
+
+/// Mutant executions are bounded: a corrupted kernel may loop forever, and
+/// the contract is a structured `InstructionBudget` error, not a hang.
+fn bounded_machine() -> MachineConfig {
+    let mut m = MachineConfig::paper();
+    m.max_warp_instructions = 50_000;
+    m
+}
+
+/// Differential check for a structurally *validated* mutant kernel: run it
+/// unallocated in baseline mode and allocated in hierarchy-faithful mode.
+/// Allocation must preserve the mutant's semantics exactly — identical
+/// final memory, or the same structured-failure fate in both modes.
+fn differential(mutant: &Kernel, cfg: &AllocConfig, w: &Workload) -> Result<CaseOutcome, String> {
+    let mut allocated = mutant.clone();
+    if allocate(&mut allocated, cfg, &EnergyModel::paper()).is_err() {
+        return Ok(CaseOutcome::Rejected);
+    }
+    let machine = bounded_machine();
+    let mut base_mem = w.memory.clone();
+    let base = execute_with(
+        mutant,
+        &w.launch,
+        &mut base_mem,
+        ExecMode::Baseline,
+        &machine,
+        &mut [],
+    );
+    let mut hier_mem = w.memory.clone();
+    let hier = execute_with(
+        &allocated,
+        &w.launch,
+        &mut hier_mem,
+        ExecMode::Hierarchy(*cfg),
+        &machine,
+        &mut [],
+    );
+    match (base, hier) {
+        (Ok(_), Ok(_)) => {
+            if base_mem.words() == hier_mem.words() {
+                Ok(CaseOutcome::Identical)
+            } else {
+                Err("allocated mutant diverged from its own baseline execution".into())
+            }
+        }
+        (Err(_), Err(_)) => Ok(CaseOutcome::Structured),
+        (Ok(_), Err(e)) => Err(format!("hierarchy-only failure on a validated mutant: {e}")),
+        (Err(e), Ok(_)) => Err(format!("baseline-only failure on a validated mutant: {e}")),
+    }
+}
+
+fn record(
+    report: &mut ChaosReport,
+    caught: std::thread::Result<Result<CaseOutcome, String>>,
+    layer: &str,
+    case: usize,
+    seed: u64,
+) -> Result<(), String> {
+    report.cases += 1;
+    match caught {
+        Ok(Ok(outcome)) => {
+            match outcome {
+                CaseOutcome::Rejected => report.rejected += 1,
+                CaseOutcome::Identical => report.identical += 1,
+                CaseOutcome::Structured => report.structured += 1,
+                CaseOutcome::Flagged => report.flagged += 1,
+                CaseOutcome::Unchanged => report.unchanged += 1,
+            }
+            Ok(())
+        }
+        Ok(Err(violation)) => Err(format!(
+            "{layer} layer, case {case} (seed {seed:#018x}): {violation}"
+        )),
+        Err(_) => Err(format!(
+            "{layer} layer, case {case} (seed {seed:#018x}): PANIC escaped the pipeline"
+        )),
+    }
+}
+
+/// Fuzzes the parser (and everything behind it) with byte-level
+/// corruptions of the workload kernel's textual form.
+///
+/// # Errors
+///
+/// Returns a replayable description of the first trichotomy violation:
+/// a panic, or a validated mutant whose baseline and hierarchy executions
+/// disagree.
+pub fn run_byte_layer(
+    w: &Workload,
+    cfg: &AllocConfig,
+    cases: usize,
+    base_seed: u64,
+) -> Result<ChaosReport, String> {
+    let text = rfh_isa::printer::print_kernel(&w.kernel);
+    let mut seeder = SplitMix64::new(base_seed);
+    let mut report = ChaosReport::default();
+    for case in 0..cases {
+        let seed = seeder.next_u64();
+        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mutated = byte::mutate_text(&text, &mut rng);
+            if mutated == text {
+                return Ok(CaseOutcome::Unchanged);
+            }
+            match rfh_isa::parse_kernel(&mutated) {
+                Err(_) => Ok(CaseOutcome::Rejected),
+                Ok(kernel) => differential(&kernel, cfg, w),
+            }
+        }));
+        record(&mut report, caught, "byte", case, seed)?;
+    }
+    Ok(report)
+}
+
+/// Fuzzes the validator/allocator with structural IR corruptions.
+///
+/// # Errors
+///
+/// As for [`run_byte_layer`].
+pub fn run_ir_layer(
+    w: &Workload,
+    cfg: &AllocConfig,
+    cases: usize,
+    base_seed: u64,
+) -> Result<ChaosReport, String> {
+    let mut seeder = SplitMix64::new(base_seed);
+    let mut report = ChaosReport::default();
+    for case in 0..cases {
+        let seed = seeder.next_u64();
+        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut mutant = w.kernel.clone();
+            ir::mutate_kernel(&mut mutant, &mut rng);
+            if mutant == w.kernel {
+                return Ok(CaseOutcome::Unchanged);
+            }
+            match rfh_isa::validate(&mutant) {
+                Err(_) => Ok(CaseOutcome::Rejected),
+                Ok(()) => differential(&mutant, cfg, w),
+            }
+        }));
+        record(&mut report, caught, "IR", case, seed)?;
+    }
+    Ok(report)
+}
+
+/// Fuzzes the placement validator with corrupted placements on a
+/// correctly allocated kernel, and proves its **soundness** by
+/// differential execution: any corruption it does **not** flag must
+/// execute to exactly the reference memory image.
+///
+/// # Errors
+///
+/// Returns a replayable description of the first violation: a panic, an
+/// unflagged corruption that fails to execute, or — the critical case —
+/// an unflagged corruption that changes results.
+pub fn run_place_layer(
+    w: &Workload,
+    cfg: &AllocConfig,
+    cases: usize,
+    base_seed: u64,
+) -> Result<ChaosReport, String> {
+    let mut allocated = w.kernel.clone();
+    allocate(&mut allocated, cfg, &EnergyModel::paper())
+        .map_err(|e| format!("seed kernel failed to allocate: {e}"))?;
+    let machine = bounded_machine();
+    let mut ref_mem = w.memory.clone();
+    execute_with(
+        &w.kernel,
+        &w.launch,
+        &mut ref_mem,
+        ExecMode::Baseline,
+        &machine,
+        &mut [],
+    )
+    .map_err(|e| format!("seed kernel failed to execute: {e}"))?;
+
+    let mut seeder = SplitMix64::new(base_seed);
+    let mut report = ChaosReport::default();
+    for case in 0..cases {
+        let seed = seeder.next_u64();
+        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut mutant = allocated.clone();
+            place::mutate_placements(&mut mutant, cfg.orf_entries, &mut rng);
+            if mutant == allocated {
+                return Ok(CaseOutcome::Unchanged);
+            }
+            if validate_placements(&mutant, cfg).is_err() {
+                return Ok(CaseOutcome::Flagged);
+            }
+            // Unflagged: the corruption must be semantically transparent.
+            let mut mem = w.memory.clone();
+            match execute_with(
+                &mutant,
+                &w.launch,
+                &mut mem,
+                ExecMode::Hierarchy(*cfg),
+                &machine,
+                &mut [],
+            ) {
+                Err(e) => Err(format!("unflagged placement mutant failed to execute: {e}")),
+                Ok(_) if mem.words() == ref_mem.words() => Ok(CaseOutcome::Identical),
+                Ok(_) => Err(
+                    "unflagged placement corruption changed results — validator unsoundness".into(),
+                ),
+            }
+        }));
+        record(&mut report, caught, "placement", case, seed)?;
+    }
+    Ok(report)
+}

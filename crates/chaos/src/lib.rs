@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # rfh-chaos — fault injection for the RFH pipeline
+//!
+//! Seeded mutators that corrupt kernels at three layers of the toolchain,
+//! plus a driver asserting the robustness contract at each layer:
+//!
+//! * [`byte`] — raw assembly-text corruption (truncation, garbage bytes
+//!   including non-UTF-8, bit flips, token splices) fed to the parser;
+//! * [`ir`] — structural IR corruption (drop/duplicate instructions,
+//!   retarget branches, swap operands, toggle strand ends) fed to the
+//!   validator and allocator;
+//! * [`place`] — placement-annotation corruption on an allocated kernel
+//!   (flip `ReadLoc`/`WriteLoc`, drop `also_mrf`, shift ORF indices) fed
+//!   to `rfh_alloc::validate_placements`.
+//!
+//! [`harness`] runs thousands of seeded mutants per layer and asserts the
+//! **trichotomy**: every mutant is either *rejected with a structured
+//! error*, or *validated and architecturally identical* (differential
+//! execution against the baseline agrees exactly), or — placements only —
+//! *flagged by the placement validator*. A panic or a hang anywhere is a
+//! bug; so is an unflagged placement corruption that changes results
+//! (validator unsoundness) or a validated mutant whose baseline and
+//! hierarchy executions disagree.
+//!
+//! Every case derives its RNG seed from a base seed via SplitMix64, so a
+//! failure report pinpoints one replayable case. Set `RFH_TESTKIT_SEED`
+//! to override the base seed and `RFH_CHAOS_CASES` to scale the case
+//! budget (CI smoke runs use a small budget; the defaults exercise at
+//! least 1000 mutants per layer).
+
+pub mod byte;
+pub mod harness;
+pub mod ir;
+pub mod place;
+
+pub use harness::{
+    cases_from_env, run_byte_layer, run_ir_layer, run_place_layer, seed_from_env, ChaosReport,
+};

@@ -1,0 +1,179 @@
+//! Placement-annotation mutators.
+//!
+//! These model corruption *after* allocation: a bug in the allocator (or
+//! a bit flip in a stored kernel) that changes where operands are claimed
+//! to live without changing the program. The contract is soundness of
+//! `rfh_alloc::validate_placements`: any placement corruption that would
+//! change execution results must be flagged; corruptions it accepts must
+//! be semantically transparent (the hierarchy only moves values around).
+
+use rfh_isa::{Kernel, ReadLoc, Slot, WriteLoc};
+use rfh_testkit::prelude::*;
+
+/// Applies 1–2 random placement corruptions to an allocated `kernel`,
+/// staying within (or one past) `orf_entries` so both in-range and
+/// out-of-range annotations are exercised.
+pub fn mutate_placements(kernel: &mut Kernel, orf_entries: usize, rng: &mut SmallRng) {
+    let rounds = rng.gen_range(1usize..=2);
+    for _ in 0..rounds {
+        mutate_once(kernel, orf_entries, rng);
+    }
+}
+
+fn random_entry(orf_entries: usize, rng: &mut SmallRng) -> u8 {
+    // Mostly in range, occasionally one past the end.
+    rng.gen_range(0..=orf_entries.min(254)) as u8
+}
+
+fn random_bank(rng: &mut SmallRng) -> Option<Slot> {
+    match rng.gen_range(0u32..4) {
+        0 => None,
+        1 => Some(Slot::A),
+        2 => Some(Slot::B),
+        _ => Some(Slot::C),
+    }
+}
+
+fn random_read_loc(orf_entries: usize, rng: &mut SmallRng) -> ReadLoc {
+    match rng.gen_range(0u32..4) {
+        0 => ReadLoc::Mrf,
+        1 => ReadLoc::Orf(random_entry(orf_entries, rng)),
+        2 => ReadLoc::Lrf(random_bank(rng)),
+        _ => ReadLoc::MrfFillOrf(random_entry(orf_entries, rng)),
+    }
+}
+
+fn random_write_loc(orf_entries: usize, rng: &mut SmallRng) -> WriteLoc {
+    match rng.gen_range(0u32..3) {
+        0 => WriteLoc::Mrf,
+        1 => WriteLoc::Orf {
+            entry: random_entry(orf_entries, rng),
+            also_mrf: rng.gen::<bool>(),
+        },
+        _ => WriteLoc::Lrf {
+            bank: random_bank(rng),
+            also_mrf: rng.gen::<bool>(),
+        },
+    }
+}
+
+fn pick_instr(kernel: &Kernel, rng: &mut SmallRng) -> Option<(usize, usize)> {
+    let total = kernel.instr_count();
+    if total == 0 {
+        return None;
+    }
+    let mut n = rng.gen_range(0..total);
+    for (b, block) in kernel.blocks.iter().enumerate() {
+        if n < block.instrs.len() {
+            return Some((b, n));
+        }
+        n -= block.instrs.len();
+    }
+    None
+}
+
+fn mutate_once(kernel: &mut Kernel, orf_entries: usize, rng: &mut SmallRng) {
+    match rng.gen_range(0u32..5) {
+        // Flip the write location of one instruction.
+        0 => {
+            if let Some((b, i)) = pick_instr(kernel, rng) {
+                kernel.blocks[b].instrs[i].write_loc = random_write_loc(orf_entries, rng);
+            }
+        }
+        // Drop the dual-MRF bit on one upper-level write (a live-out value
+        // silently loses its MRF copy).
+        1 => {
+            let sites: Vec<(usize, usize)> = kernel
+                .blocks
+                .iter()
+                .enumerate()
+                .flat_map(|(b, blk)| {
+                    blk.instrs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, ins)| {
+                            matches!(
+                                ins.write_loc,
+                                WriteLoc::Orf { also_mrf: true, .. }
+                                    | WriteLoc::Lrf { also_mrf: true, .. }
+                            )
+                        })
+                        .map(move |(i, _)| (b, i))
+                })
+                .collect();
+            if let Some(&(b, i)) = sites.get(rng.gen_range(0..sites.len().max(1))) {
+                match &mut kernel.blocks[b].instrs[i].write_loc {
+                    WriteLoc::Orf { also_mrf, .. } | WriteLoc::Lrf { also_mrf, .. } => {
+                        *also_mrf = false
+                    }
+                    WriteLoc::Mrf => {}
+                }
+            }
+        }
+        // Flip one read location.
+        2 => {
+            if let Some((b, i)) = pick_instr(kernel, rng) {
+                let instr = &mut kernel.blocks[b].instrs[i];
+                if !instr.read_locs.is_empty() {
+                    let slot = rng.gen_range(0..instr.read_locs.len());
+                    instr.read_locs[slot] = random_read_loc(orf_entries, rng);
+                }
+            }
+        }
+        // Shift every ORF index by one (wholesale mis-indexing; reads and
+        // writes shift together, so values land in — and are sought at —
+        // the wrong entries).
+        3 => {
+            for block in &mut kernel.blocks {
+                for instr in &mut block.instrs {
+                    if let WriteLoc::Orf { entry, .. } = &mut instr.write_loc {
+                        *entry = entry.saturating_add(1);
+                    }
+                    for rl in &mut instr.read_locs {
+                        match rl {
+                            ReadLoc::Orf(e) | ReadLoc::MrfFillOrf(e) => *e = e.saturating_add(1),
+                            ReadLoc::Mrf | ReadLoc::Lrf(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+        // Swap the read locations of two operand slots.
+        _ => {
+            if let Some((b, i)) = pick_instr(kernel, rng) {
+                let instr = &mut kernel.blocks[b].instrs[i];
+                if instr.read_locs.len() >= 2 {
+                    let a = rng.gen_range(0..instr.read_locs.len());
+                    let c = rng.gen_range(0..instr.read_locs.len());
+                    instr.read_locs.swap(a, c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let mut kernel = rfh_isa::parse_kernel(
+            ".kernel t\nBB0:\n  mov r0, %tid.x\n  iadd r1 r0, 1\n  iadd r2 r1, r1\n  st.global r0, r2\n  exit\n",
+        )
+        .unwrap();
+        rfh_alloc::allocate(
+            &mut kernel,
+            &rfh_alloc::AllocConfig::two_level(3),
+            &rfh_energy::EnergyModel::paper(),
+        )
+        .unwrap();
+        for seed in 0..20u64 {
+            let mut a = kernel.clone();
+            let mut b = kernel.clone();
+            mutate_placements(&mut a, 3, &mut SmallRng::seed_from_u64(seed));
+            mutate_placements(&mut b, 3, &mut SmallRng::seed_from_u64(seed));
+            assert_eq!(a, b, "seed {seed} not deterministic");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The headline robustness property: over ≥1000 seeded mutants per
+//! corruption layer, every case lands in the trichotomy — *rejected with
+//! a structured error*, *validated and architecturally identical*, or
+//! *flagged by the placement validator* — with zero panics and zero
+//! hangs. Unflagged placement corruptions are executed differentially to
+//! prove the validator catches everything that changes results.
+//!
+//! `RFH_CHAOS_CASES` scales the per-layer budget (CI smoke uses a small
+//! value); `RFH_TESTKIT_SEED` replays a specific run.
+
+use rfh_alloc::AllocConfig;
+use rfh_chaos::{cases_from_env, run_byte_layer, run_ir_layer, run_place_layer, seed_from_env};
+use rfh_workloads::Workload;
+
+fn workload(name: &str) -> Workload {
+    rfh_workloads::by_name(name).expect("known workload")
+}
+
+fn cfg() -> AllocConfig {
+    AllocConfig::three_level(3, true)
+}
+
+#[test]
+fn byte_layer_trichotomy_holds() {
+    let cases = cases_from_env(1000);
+    let report = run_byte_layer(
+        &workload("vectoradd"),
+        &cfg(),
+        cases,
+        seed_from_env(0xB17E_0001),
+    )
+    .expect("byte-layer trichotomy violated");
+    assert_eq!(
+        report.cases, cases,
+        "all cases classified — zero panics, zero hangs ({report})"
+    );
+    assert!(
+        report.rejected > cases / 10,
+        "byte corruption should often break the syntax: {report}"
+    );
+    assert!(
+        report.identical + report.structured > 0,
+        "some mutants should survive to differential execution: {report}"
+    );
+}
+
+#[test]
+fn ir_layer_trichotomy_holds() {
+    let cases = cases_from_env(1000);
+    let report = run_ir_layer(
+        &workload("vectoradd"),
+        &cfg(),
+        cases,
+        seed_from_env(0x12_0002),
+    )
+    .expect("IR-layer trichotomy violated");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(
+        report.rejected > 0,
+        "structural damage should trip the validator: {report}"
+    );
+    assert!(
+        report.identical > 0,
+        "some valid mutants should run identically across modes: {report}"
+    );
+}
+
+#[test]
+fn placement_layer_trichotomy_holds() {
+    let cases = cases_from_env(1000);
+    let report = run_place_layer(
+        &workload("vectoradd"),
+        &cfg(),
+        cases,
+        seed_from_env(0x97AC_0003),
+    )
+    .expect("placement validator failed to catch a result-changing corruption");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(
+        report.flagged > cases / 10,
+        "placement corruption should usually be flagged: {report}"
+    );
+}
+
+#[test]
+fn placement_layer_holds_under_a_two_level_config_with_loops() {
+    // A second hierarchy shape and a loop-heavy kernel: backedges are
+    // where cross-strand staleness lives.
+    let cases = cases_from_env(1000).min(500);
+    let report = run_place_layer(
+        &workload("scalarprod"),
+        &AllocConfig::two_level(3),
+        cases,
+        seed_from_env(0x97AC_0004),
+    )
+    .expect("placement validator failed on the two-level config");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(report.flagged > 0, "{report}");
+}
+
+#[test]
+fn chaos_runs_are_deterministic_per_seed() {
+    let w = workload("vectoradd");
+    let a = run_byte_layer(&w, &cfg(), 50, 7).expect("run a");
+    let b = run_byte_layer(&w, &cfg(), 50, 7).expect("run b");
+    assert_eq!(a, b, "same seed must reproduce the same classification");
+    let c = run_byte_layer(&w, &cfg(), 50, 8).expect("run c");
+    assert_ne!(a, c, "different seeds should explore different mutants");
+}

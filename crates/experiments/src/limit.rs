@@ -39,7 +39,8 @@ fn per_strand_oracle(w: &Workload, base: &AccessCounts, model: &EnergyModel) -> 
     for k in 1..=8usize {
         let cfg = AllocConfig::three_level(k, true);
         let mut kernel = w.kernel.clone();
-        rfh_alloc::allocate(&mut kernel, &cfg, model);
+        rfh_alloc::allocate(&mut kernel, &cfg, model)
+            .unwrap_or_else(|e| panic!("allocation failed: {e}"));
         let mut counter = StrandCounter::new(&kernel);
         w.run_and_verify(ExecMode::Hierarchy(cfg), &kernel, &mut [&mut counter])
             .unwrap_or_else(|e| panic!("{e}"));

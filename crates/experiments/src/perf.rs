@@ -49,7 +49,11 @@ pub fn run(workloads: &[Workload], active_sizes: &[usize]) -> Vec<PerfPoint> {
         .collect();
     let baselines: Vec<u64> = captures
         .iter()
-        .map(|c| simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::single_level()).cycles)
+        .map(|c| {
+            simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::single_level())
+                .expect("captured trace replays within budget")
+                .cycles
+        })
         .collect();
 
     active_sizes
@@ -60,7 +64,8 @@ pub fn run(workloads: &[Workload], active_sizes: &[usize]) -> Vec<PerfPoint> {
                 .zip(&baselines)
                 .map(|(c, b)| {
                     let t =
-                        simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::two_level(a));
+                        simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::two_level(a))
+                            .expect("captured trace replays within budget");
                     t.cycles as f64 / *b as f64
                 })
                 .collect();

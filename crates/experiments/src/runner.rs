@@ -30,7 +30,8 @@ pub fn baseline_counts(w: &Workload) -> AccessCounts {
 /// As for [`baseline_counts`].
 pub fn sw_counts(w: &Workload, cfg: &AllocConfig, model: &EnergyModel) -> AccessCounts {
     let mut kernel = w.kernel.clone();
-    rfh_alloc::allocate(&mut kernel, cfg, model);
+    rfh_alloc::allocate(&mut kernel, cfg, model)
+        .unwrap_or_else(|e| panic!("allocation failed: {e}"));
     let mut counter = SwCounter::default();
     w.run_and_verify(ExecMode::Hierarchy(*cfg), &kernel, &mut [&mut counter])
         .unwrap_or_else(|e| panic!("sw run failed: {e}"));

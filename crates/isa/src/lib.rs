@@ -77,4 +77,4 @@ pub use operand::{Operand, Slot, Special};
 pub use parser::parse_kernel;
 pub use placement::{Level, ReadLoc, WriteLoc};
 pub use reg::{PredReg, Reg, Width};
-pub use validate::validate;
+pub use validate::{validate, MAX_PRED_INDEX, MAX_REG_INDEX};

@@ -294,15 +294,19 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, IsaError> {
             continue;
         }
         // An instruction line; an implicit BB0 is opened if none exists yet.
-        if current.is_none() {
-            if !k.blocks.is_empty() {
-                return Err(perr(line_no, "instruction outside any block"));
+        let cur = match current {
+            Some(cur) => cur,
+            None => {
+                if !k.blocks.is_empty() {
+                    return Err(perr(line_no, "instruction outside any block"));
+                }
+                k.blocks.push(BasicBlock::new(BlockId::new(0)));
+                current = Some(0);
+                0
             }
-            k.blocks.push(BasicBlock::new(BlockId::new(0)));
-            current = Some(0);
-        }
+        };
         let instr = parse_instruction(line, line_no)?;
-        k.blocks[current.unwrap()].instrs.push(instr);
+        k.blocks[cur].instrs.push(instr);
     }
 
     let kernel = kernel.ok_or_else(|| perr(text.lines().count(), "no .kernel directive"))?;

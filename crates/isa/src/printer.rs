@@ -23,12 +23,12 @@ use crate::kernel::Kernel;
 /// ```
 pub fn print_kernel(kernel: &Kernel) -> String {
     let mut out = String::new();
-    writeln!(out, ".kernel {}", kernel.name).unwrap();
-    writeln!(out, ".params {}", kernel.num_params).unwrap();
+    let _ = writeln!(out, ".kernel {}", kernel.name);
+    let _ = writeln!(out, ".params {}", kernel.num_params);
     for block in &kernel.blocks {
-        writeln!(out, "{}:", block.id).unwrap();
+        let _ = writeln!(out, "{}:", block.id);
         for instr in &block.instrs {
-            writeln!(out, "  {instr}").unwrap();
+            let _ = writeln!(out, "  {instr}");
         }
     }
     out
@@ -38,12 +38,12 @@ pub fn print_kernel(kernel: &Kernel) -> String {
 /// comments, for debugging allocator output.
 pub fn print_kernel_annotated(kernel: &Kernel) -> String {
     let mut out = String::new();
-    writeln!(out, ".kernel {}", kernel.name).unwrap();
-    writeln!(out, ".params {}", kernel.num_params).unwrap();
+    let _ = writeln!(out, ".kernel {}", kernel.name);
+    let _ = writeln!(out, ".params {}", kernel.num_params);
     for block in &kernel.blocks {
-        writeln!(out, "{}:", block.id).unwrap();
+        let _ = writeln!(out, "{}:", block.id);
         for instr in &block.instrs {
-            write!(out, "  {instr}").unwrap();
+            let _ = write!(out, "  {instr}");
             let mut notes = Vec::new();
             if instr.dst.is_some() {
                 notes.push(format!("w={}", instr.write_loc));
@@ -59,9 +59,9 @@ pub fn print_kernel_annotated(kernel: &Kernel) -> String {
                 notes.push(format!("r=[{}]", reads.join(",")));
             }
             if !notes.is_empty() {
-                write!(out, " ; {}", notes.join(" ")).unwrap();
+                let _ = write!(out, " ; {}", notes.join(" "));
             }
-            writeln!(out).unwrap();
+            let _ = writeln!(out);
         }
     }
     out

@@ -6,8 +6,11 @@ use std::fmt;
 ///
 /// Registers are 32 bits wide. A 64-bit value occupies the register pair
 /// `(rN, rN+1)`; see [`Width`]. The MRF provides up to 32 registers per
-/// thread in the baseline machine, but the IR itself places no upper bound —
-/// validation against a machine configuration happens in `rfh-sim`.
+/// thread in the baseline machine; the IR type itself accepts any `u16`
+/// index, but [`crate::validate`] rejects indices above
+/// [`crate::validate::MAX_REG_INDEX`] (so downstream counters like
+/// `Kernel::num_regs` cannot overflow), and validation against a machine
+/// configuration happens in `rfh-sim`.
 ///
 /// # Examples
 ///

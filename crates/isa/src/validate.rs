@@ -5,6 +5,19 @@ use crate::instr::Instruction;
 use crate::kernel::{BlockId, Kernel};
 use crate::opcode::Opcode;
 
+/// Highest general-purpose register index a valid kernel may name.
+///
+/// The IR stores indices in `u16` and derives per-thread register demand as
+/// `highest + 1` (with 64-bit pairs occupying `rN, rN+1`), so an uncapped
+/// index would overflow the counters and let a hostile kernel demand
+/// arbitrarily large per-warp state from the simulator. 4094 leaves room
+/// for the pair high half and the `+ 1` in [`Kernel::num_regs`].
+pub const MAX_REG_INDEX: u16 = 4094;
+
+/// Highest predicate register index a valid kernel may name (same
+/// overflow/resource argument as [`MAX_REG_INDEX`], for `u8` counters).
+pub const MAX_PRED_INDEX: u8 = 127;
+
 fn err(at: impl Into<String>, msg: impl Into<String>) -> IsaError {
     IsaError::Validate {
         at: at.into(),
@@ -57,6 +70,39 @@ pub fn validate_instruction(i: &Instruction) -> Result<(), IsaError> {
     }
     if i.dead_after.len() != i.srcs.len() {
         return Err(err(&at, "liveness annotations not parallel to sources"));
+    }
+    // Check the raw dst index before expanding pairs: `Dst::regs` computes
+    // `index + 1` for 64-bit values, which must not be reachable with an
+    // index near `u16::MAX`.
+    if let Some(d) = i.dst {
+        if d.reg.index() > MAX_REG_INDEX {
+            return Err(err(
+                &at,
+                format!(
+                    "register {} exceeds the maximum index {MAX_REG_INDEX}",
+                    d.reg
+                ),
+            ));
+        }
+    }
+    for (_, r) in i.reg_srcs() {
+        if r.index() > MAX_REG_INDEX {
+            return Err(err(
+                &at,
+                format!("register {r} exceeds the maximum index {MAX_REG_INDEX}"),
+            ));
+        }
+    }
+    for p in [i.pdst, i.psrc, i.guard.map(|g| g.reg)]
+        .into_iter()
+        .flatten()
+    {
+        if p.index() > MAX_PRED_INDEX {
+            return Err(err(
+                &at,
+                format!("predicate {p} exceeds the maximum index {MAX_PRED_INDEX}"),
+            ));
+        }
     }
     Ok(())
 }
@@ -215,6 +261,46 @@ mod tests {
         i = i.guarded(crate::PredReg::new(0), false);
         let k = single_block(vec![i, ops::exit()]);
         assert!(validate(&k).is_ok());
+    }
+
+    #[test]
+    fn rejects_register_index_above_cap() {
+        let bad = Instruction::new(Opcode::IAdd)
+            .with_dst(Reg::new(MAX_REG_INDEX + 1))
+            .with_src(1)
+            .with_src(2);
+        let e = validate_instruction(&bad).unwrap_err();
+        assert!(e.to_string().contains("maximum index"));
+        let bad_src = Instruction::new(Opcode::IAdd)
+            .with_dst(Reg::new(0))
+            .with_src(Reg::new(u16::MAX))
+            .with_src(2);
+        assert!(validate_instruction(&bad_src).is_err());
+    }
+
+    #[test]
+    fn rejects_wide_pair_at_u16_max_without_overflow() {
+        // A 64-bit destination rooted at u16::MAX must be rejected before
+        // anything computes `index + 1`.
+        let bad = crate::ops::ld_global_w64(Reg::new(u16::MAX), Reg::new(0).into());
+        assert!(validate_instruction(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_predicate_index_above_cap() {
+        let bad = ops::exit().guarded(crate::PredReg::new(MAX_PRED_INDEX + 1), false);
+        assert!(validate_instruction(&bad).is_err());
+        let at_cap = ops::exit().guarded(crate::PredReg::new(MAX_PRED_INDEX), false);
+        assert!(validate_instruction(&at_cap).is_ok());
+    }
+
+    #[test]
+    fn accepts_register_index_at_cap() {
+        let ok = Instruction::new(Opcode::IAdd)
+            .with_dst(Reg::new(MAX_REG_INDEX))
+            .with_src(1)
+            .with_src(2);
+        assert!(validate_instruction(&ok).is_ok());
     }
 
     #[test]

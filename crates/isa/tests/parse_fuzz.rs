@@ -1,0 +1,146 @@
+//! Bounded mutation corpus for the parser: `parse_kernel` must return
+//! `Ok` or `IsaError::Parse` on arbitrary corruptions of valid kernel
+//! text — never panic, never slice off a char boundary, never overflow on
+//! overlong numeric fields.
+//!
+//! Set `RFH_TESTKIT_SEED` to replay a specific corpus.
+
+use rfh_isa::{parse_kernel, IsaError};
+use rfh_testkit::prelude::*;
+
+const CORPUS: &[&str] = &[
+    // A straight-line kernel.
+    "
+.kernel axpy
+BB0:
+  mov r0, %tid.x
+  ld.param r1 0
+  iadd r2 r1, r0
+  ld.global r3 r2
+  ffma r4 r3, 2.5f, r3
+  st.global r2, r4
+  exit
+",
+    // Branches, predicates, wide loads, strand-end markers.
+    "
+.kernel loopy
+BB0:
+  mov r7, 0
+BB1:
+  ld.shared r4.w64 r7
+  fmul r8 r5, r5 !
+  fadd r5 r8, 1.0f
+  iadd r7 r7, 1
+  setp.lt p0 r7, 4
+  @p0 bra BB1
+BB2:
+  st.global r0, r5
+  exit
+",
+    // Degenerate inputs.
+    "",
+    "\n\n\n",
+    ".kernel x\n",
+    "BB0:\n  exit\n",
+];
+
+fn mutate(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
+    if bytes.is_empty() {
+        bytes.push(rng.gen::<u8>());
+        return;
+    }
+    match rng.gen_range(0u32..5) {
+        0 => {
+            let at = rng.gen_range(0..bytes.len());
+            bytes.truncate(at);
+        }
+        1 => {
+            let at = rng.gen_range(0..=bytes.len());
+            let garbage: Vec<u8> = (0..rng.gen_range(1usize..=8))
+                .map(|_| rng.gen::<u8>())
+                .collect();
+            bytes.splice(at..at, garbage);
+        }
+        2 => {
+            let at = rng.gen_range(0..bytes.len());
+            bytes[at] ^= 1 << rng.gen_range(0u32..8);
+        }
+        3 => {
+            let a = rng.gen_range(0..bytes.len());
+            let b = (a + rng.gen_range(1usize..=16)).min(bytes.len());
+            bytes.drain(a..b);
+        }
+        // Overlong numeric fields: blow up a digit run so `r4294967296`-
+        // style registers and immediates exercise the integer parsers.
+        _ => {
+            if let Some(at) = bytes.iter().position(|b| b.is_ascii_digit()) {
+                let digits: Vec<u8> = (0..rng.gen_range(8usize..=24))
+                    .map(|_| b'0' + rng.gen_range(0u32..10) as u8)
+                    .collect();
+                bytes.splice(at..at, digits);
+            }
+        }
+    }
+}
+
+#[test]
+fn parser_never_panics_on_mutated_corpus() {
+    let base_seed: u64 = std::env::var("RFH_TESTKIT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x15A_F022);
+    let mut seeder = SplitMix64::new(base_seed);
+    let mut rejected = 0usize;
+    let mut accepted = 0usize;
+    let mut cases = 0usize;
+    for text in CORPUS {
+        for _ in 0..500 {
+            let seed = seeder.next_u64();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut bytes = text.as_bytes().to_vec();
+            for _ in 0..rng.gen_range(1usize..=3) {
+                mutate(&mut bytes, &mut rng);
+            }
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            cases += 1;
+            match parse_kernel(&mutated) {
+                Ok(_) => accepted += 1,
+                Err(IsaError::Parse { .. }) => rejected += 1,
+                Err(other) => {
+                    panic!("seed {seed:#018x}: parse returned a non-parse error: {other}")
+                }
+            }
+        }
+    }
+    assert_eq!(cases, CORPUS.len() * 500);
+    assert!(
+        rejected > cases / 4,
+        "suspiciously few rejections ({rejected}/{cases}) — mutator broken?"
+    );
+    assert!(
+        accepted > 0,
+        "no mutant parsed ({rejected}/{cases} rejected) — mutator too destructive?"
+    );
+}
+
+#[test]
+fn parser_handles_degenerate_inputs_structurally() {
+    // Hand-picked degenerate shapes that historically trip parsers.
+    let cases = [
+        "\u{FFFD}\u{FFFD}",                                     // lossy-decode artifacts
+        ";",                                                    // comment char only
+        ".kernel",                                              // header missing a name
+        ".kernel a\nBB0:\n  iadd r99999999999 r0, 1\n  exit\n", // overlong reg
+        ".kernel a\nBB0:\n  iadd r1 r0, 99999999999999999999\n  exit\n", // overlong imm
+        &format!(".kernel a\nBB0:\n  {}\n  exit\n", "x".repeat(1 << 16)), // overlong line
+        &"BB0:\n".repeat(500),                                  // many labels, no kernel
+        ".kernel a\n@p9999 bra BB0\n",                          // overlong predicate
+    ];
+    for text in cases {
+        match parse_kernel(text) {
+            Ok(_) => {}
+            Err(IsaError::Parse { .. }) => {}
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+}

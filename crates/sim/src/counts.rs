@@ -88,7 +88,7 @@ mod tests {
         let mut kernel = rfh_isa::parse_kernel(text).unwrap();
         let mode = match config {
             Some(cfg) => {
-                rfh_alloc::allocate(&mut kernel, &cfg, &EnergyModel::paper());
+                rfh_alloc::allocate(&mut kernel, &cfg, &EnergyModel::paper()).unwrap();
                 ExecMode::Hierarchy(cfg)
             }
             None => ExecMode::Baseline,

@@ -111,6 +111,15 @@ pub enum ExecError {
         /// Where it happened.
         at: InstrRef,
     },
+    /// A placement annotation references hierarchy storage that does not
+    /// exist under the executing configuration (e.g. an ORF entry past the
+    /// configured size). Detected up front, before any instruction runs.
+    BadPlacement {
+        /// Description of the problem.
+        what: String,
+        /// The instruction carrying the annotation.
+        at: InstrRef,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -126,6 +135,9 @@ impl fmt::Display for ExecError {
                 )
             }
             ExecError::Unsupported { what, at } => write!(f, "unsupported: {what} ({at})"),
+            ExecError::BadPlacement { what, at } => {
+                write!(f, "bad placement annotation: {what} ({at})")
+            }
         }
     }
 }
@@ -262,10 +274,13 @@ impl WarpContext<'_> {
     }
 }
 
-fn eval_alu(op: Opcode, a: u32, b: u32, c: u32) -> u32 {
+/// Evaluates a private-datapath ALU opcode, or `None` when `op` is not an
+/// ALU opcode (control flow, memory, barriers — dispatched elsewhere; the
+/// caller reports [`ExecError::Unsupported`] rather than panicking).
+fn eval_alu(op: Opcode, a: u32, b: u32, c: u32) -> Option<u32> {
     let (ia, ib, ic) = (a as i32, b as i32, c as i32);
     let (fa, fb, fc) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
-    match op {
+    let v = match op {
         Opcode::IAdd => ia.wrapping_add(ib) as u32,
         Opcode::ISub => ia.wrapping_sub(ib) as u32,
         Opcode::IMul => ia.wrapping_mul(ib) as u32,
@@ -304,8 +319,9 @@ fn eval_alu(op: Opcode, a: u32, b: u32, c: u32) -> u32 {
             };
             v.to_bits()
         }
-        _ => unreachable!("eval_alu called for {op}"),
-    }
+        _ => return None,
+    };
+    Some(v)
 }
 
 fn eval_cmp(cmp: CmpOp, float: bool, a: u32, b: u32) -> bool {
@@ -330,6 +346,78 @@ fn eval_cmp(cmp: CmpOp, float: bool, a: u32, b: u32) -> bool {
             CmpOp::Ge => ia >= ib,
         }
     }
+}
+
+/// Number of modeled LRF banks for a configuration (matches
+/// [`WarpState::new`]).
+fn lrf_bank_count(mode: LrfMode) -> usize {
+    match mode {
+        LrfMode::None => 0,
+        LrfMode::Unified => 1,
+        LrfMode::Split => 3,
+    }
+}
+
+/// Rejects placement annotations that reference hierarchy storage the
+/// executing configuration does not have. Run before execution so that
+/// corrupted annotations surface as [`ExecError::BadPlacement`] instead of
+/// an out-of-bounds panic mid-run.
+fn check_placements(kernel: &Kernel, cfg: &AllocConfig) -> Result<(), ExecError> {
+    let orf = cfg.orf_entries;
+    let banks = lrf_bank_count(cfg.lrf);
+    let bad = |what: String, at: InstrRef| ExecError::BadPlacement { what, at };
+    for (at, instr) in kernel.iter_instrs() {
+        if instr.dst.is_some() {
+            let wide = instr.dst.map(|d| d.width == Width::W64).unwrap_or(false);
+            match instr.write_loc {
+                WriteLoc::Mrf => {}
+                WriteLoc::Orf { entry, .. } => {
+                    let top = entry as usize + usize::from(wide);
+                    if top >= orf {
+                        return Err(bad(
+                            format!("write to ORF entry {top} of {orf} configured"),
+                            at,
+                        ));
+                    }
+                }
+                WriteLoc::Lrf { bank, .. } => {
+                    let b = bank.map(|s| s.index()).unwrap_or(0);
+                    if b >= banks {
+                        return Err(bad(
+                            format!("write to LRF bank {b} of {banks} configured"),
+                            at,
+                        ));
+                    }
+                }
+            }
+        }
+        for (slot, loc) in instr.read_locs.iter().enumerate() {
+            if !instr.srcs[slot].is_reg() {
+                continue;
+            }
+            match *loc {
+                ReadLoc::Mrf => {}
+                ReadLoc::Orf(e) | ReadLoc::MrfFillOrf(e) => {
+                    if e as usize >= orf {
+                        return Err(bad(
+                            format!("read of ORF entry {e} of {orf} configured"),
+                            at,
+                        ));
+                    }
+                }
+                ReadLoc::Lrf(bank) => {
+                    let b = bank.map(|s| s.index()).unwrap_or(0);
+                    if b >= banks {
+                        return Err(bad(
+                            format!("read of LRF bank {b} of {banks} configured"),
+                            at,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn normalize(kernel: &Kernel, pc: Pc) -> Pc {
@@ -387,6 +475,9 @@ pub fn execute_with(
             index: 0,
         },
     })?;
+    if let ExecMode::Hierarchy(cfg) = &mode {
+        check_placements(kernel, cfg)?;
+    }
     let ipdom = DomTree::post_dominators(kernel);
     let warps_per_cta = launch.threads_per_cta.div_ceil(machine.warp_width);
     let mut shared: Vec<SharedMemory> = (0..launch.ctas)
@@ -538,6 +629,27 @@ fn run_warp_until(
         }
         report.warp_instructions += 1;
         report.thread_instructions += exec_mask.count_ones() as u64;
+
+        // Read-operand fills deposit the MRF value into the ORF. The fill
+        // is a side effect of operand *fetch*: its value is captured here,
+        // before the instruction executes, and deposited after — with the
+        // instruction's own writeback winning on a same-entry collision —
+        // exactly as the placement validator models it (reads see the
+        // pre-fill state; fills precede the destination write).
+        let fills: Vec<(usize, Vec<u32>)> = if matches!(ctx.mode, ExecMode::Hierarchy(_)) {
+            instr
+                .read_locs
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, loc)| {
+                    let e = loc.orf_fill()?;
+                    let r = instr.srcs[slot].as_reg()?;
+                    Some((e as usize, state.regs[r.index() as usize].clone()))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         match instr.op {
             Opcode::Bra => {
@@ -719,29 +831,43 @@ fn run_warp_until(
                     } else {
                         0
                     };
-                    let v = eval_alu(instr.op, a, b, c);
+                    let v = eval_alu(instr.op, a, b, c).ok_or_else(|| ExecError::Unsupported {
+                        what: format!("`{}` has no ALU semantics", instr.op),
+                        at,
+                    })?;
                     ctx.write_dst(state, instr, lane, v, 0);
                 }
             }
         }
 
-        // Read-operand fills deposit the MRF value into the ORF.
-        if matches!(ctx.mode, ExecMode::Hierarchy(_)) {
-            for (slot, loc) in instr.read_locs.iter().enumerate() {
-                if let Some(e) = loc.orf_fill() {
-                    if let Some(r) = instr.srcs[slot].as_reg() {
-                        for lane in 0..lanes {
-                            if mask & (1 << lane) != 0 {
-                                state.orf[e as usize][lane] = state.regs[r.index() as usize][lane];
-                            }
-                        }
+        // Deposit the operand-fetch fills captured above. The instruction's
+        // own ORF writeback wins on a same-entry collision, so a fill is
+        // skipped for lanes where the destination write targeted the entry.
+        if !fills.is_empty() {
+            let written: Option<(usize, usize)> = match (instr.write_loc, instr.dst) {
+                (WriteLoc::Orf { entry, .. }, Some(d)) => {
+                    Some((entry as usize, d.width.regs() as usize))
+                }
+                _ => None,
+            };
+            for (e, vals) in &fills {
+                let dst_covers =
+                    written.is_some_and(|(base, width)| *e >= base && *e < base + width);
+                for (lane, v) in vals.iter().enumerate().take(lanes) {
+                    if mask & (1 << lane) == 0 {
+                        continue;
                     }
+                    if dst_covers && exec_mask & (1 << lane) != 0 {
+                        continue;
+                    }
+                    state.orf[*e][lane] = *v;
                 }
             }
-            // Strand boundaries invalidate the upper levels.
-            if instr.ends_strand {
-                state.poison_upper();
-            }
+        }
+
+        // Strand boundaries invalidate the upper levels.
+        if matches!(ctx.mode, ExecMode::Hierarchy(_)) && instr.ends_strand {
+            state.poison_upper();
         }
 
         tok.pc = normalize(kernel, (block, index + 1));
@@ -770,6 +896,162 @@ mod tests {
         )
         .unwrap();
         (mem, report)
+    }
+
+    #[test]
+    fn eval_alu_is_total_over_opcodes() {
+        // Non-ALU opcodes yield None — the caller reports Unsupported
+        // instead of the old unreachable! panic.
+        for op in [
+            Opcode::Bra,
+            Opcode::Bar,
+            Opcode::Exit,
+            Opcode::Tex,
+            Opcode::Ld(Space::Global),
+            Opcode::St(Space::Shared),
+            Opcode::Setp(CmpOp::Lt),
+            Opcode::Sel,
+        ] {
+            assert_eq!(eval_alu(op, 1, 2, 3), None, "{op}");
+        }
+        assert_eq!(eval_alu(Opcode::IAdd, 1, 2, 3), Some(3));
+        assert_eq!(eval_alu(Opcode::Mov, 7, 0, 0), Some(7));
+    }
+
+    #[test]
+    fn fill_precedes_same_instruction_writeback() {
+        // `iadd r2 r1(ORF0-fill), 1` writing ORF0: the fill is an operand-
+        // fetch side effect, so the destination write must win and a later
+        // ORF0 read of r2 must see r2, not the filled r1. Found by the
+        // rfh-chaos placement harness — the fill used to be applied after
+        // writeback, disagreeing with the placement validator's model.
+        let mut kernel = rfh_isa::parse_kernel(
+            ".kernel f\nBB0:\n  mov r1, 5\n  iadd r2 r1, 1\n  st.global r0, r2\n  exit\n",
+        )
+        .unwrap();
+        let at = |i: usize| InstrRef {
+            block: rfh_isa::BlockId::new(0),
+            index: i,
+        };
+        kernel.instr_mut(at(1)).read_locs[0] = ReadLoc::MrfFillOrf(0);
+        kernel.instr_mut(at(1)).write_loc = WriteLoc::Orf {
+            entry: 0,
+            also_mrf: false,
+        };
+        kernel.instr_mut(at(2)).read_locs[1] = ReadLoc::Orf(0);
+        let cfg = rfh_alloc::AllocConfig::two_level(3);
+        rfh_alloc::validate_placements(&kernel, &cfg).unwrap();
+        let mut mem = GlobalMemory::new(32);
+        let mut sink = NullSink;
+        execute(
+            &kernel,
+            &Launch::new(1, 1),
+            &mut mem,
+            ExecMode::Hierarchy(cfg),
+            &mut [&mut sink],
+        )
+        .unwrap();
+        assert_eq!(mem.load(0).unwrap(), 6, "store must see r2 = 6, not r1 = 5");
+    }
+
+    #[test]
+    fn same_instruction_orf_read_sees_the_pre_fill_value() {
+        // The exact shape the chaos harness found (seed 0x9b5979cb901570cb):
+        // one instruction reads ORF0 in slot 0, fills ORF0 from the MRF in
+        // slot 1, and writes ORF0. Operand reads see the pre-fill state, the
+        // fill lands next, and the destination write wins — so the sum must
+        // be old-ORF0 + MRF operand, and ORF0 must end up holding the dst.
+        let mut kernel = rfh_isa::parse_kernel(
+            ".kernel g\nBB0:\n  mov r1, 5\n  mov r2, 3\n  iadd r3 r1, r2\n  st.global r0, r3\n  exit\n",
+        )
+        .unwrap();
+        let at = |i: usize| InstrRef {
+            block: rfh_isa::BlockId::new(0),
+            index: i,
+        };
+        kernel.instr_mut(at(0)).write_loc = WriteLoc::Orf {
+            entry: 0,
+            also_mrf: false,
+        };
+        kernel.instr_mut(at(2)).read_locs[0] = ReadLoc::Orf(0);
+        kernel.instr_mut(at(2)).read_locs[1] = ReadLoc::MrfFillOrf(0);
+        kernel.instr_mut(at(2)).write_loc = WriteLoc::Orf {
+            entry: 0,
+            also_mrf: false,
+        };
+        kernel.instr_mut(at(3)).read_locs[1] = ReadLoc::Orf(0);
+        let cfg = rfh_alloc::AllocConfig::two_level(3);
+        rfh_alloc::validate_placements(&kernel, &cfg).unwrap();
+        let mut mem = GlobalMemory::new(32);
+        let mut sink = NullSink;
+        execute(
+            &kernel,
+            &Launch::new(1, 1),
+            &mut mem,
+            ExecMode::Hierarchy(cfg),
+            &mut [&mut sink],
+        )
+        .unwrap();
+        assert_eq!(
+            mem.load(0).unwrap(),
+            8,
+            "r3 = old ORF0 (r1 = 5) + r2 = 3; a pre-read fill would give 6, \
+             a post-writeback fill would store 3"
+        );
+    }
+
+    #[test]
+    fn out_of_range_orf_placement_is_an_error_not_a_panic() {
+        let mut kernel =
+            rfh_isa::parse_kernel(".kernel b\nBB0:\n  iadd r1 r0, 1\n  st.global r0, r1\n  exit\n")
+                .unwrap();
+        let cfg = rfh_alloc::AllocConfig::two_level(3);
+        rfh_alloc::allocate(&mut kernel, &cfg, &rfh_energy::EnergyModel::paper()).unwrap();
+        // Point a read past the configured ORF size.
+        let at = InstrRef {
+            block: rfh_isa::BlockId::new(0),
+            index: 1,
+        };
+        kernel.instr_mut(at).read_locs[1] = ReadLoc::Orf(200);
+        let mut mem = GlobalMemory::new(32);
+        let mut sink = NullSink;
+        let err = execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut mem,
+            ExecMode::Hierarchy(cfg),
+            &mut [&mut sink],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::BadPlacement { .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_lrf_bank_is_an_error_not_a_panic() {
+        let mut kernel =
+            rfh_isa::parse_kernel(".kernel b\nBB0:\n  iadd r1 r0, 1\n  st.global r0, r1\n  exit\n")
+                .unwrap();
+        // Unified LRF has one bank; bank C does not exist.
+        let at = InstrRef {
+            block: rfh_isa::BlockId::new(0),
+            index: 0,
+        };
+        kernel.instr_mut(at).write_loc = WriteLoc::Lrf {
+            bank: Some(rfh_isa::Slot::C),
+            also_mrf: true,
+        };
+        let cfg = rfh_alloc::AllocConfig::three_level(3, false);
+        let mut mem = GlobalMemory::new(32);
+        let mut sink = NullSink;
+        let err = execute(
+            &kernel,
+            &Launch::new(1, 32),
+            &mut mem,
+            ExecMode::Hierarchy(cfg),
+            &mut [&mut sink],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::BadPlacement { .. }), "{err}");
     }
 
     #[test]
@@ -1088,7 +1370,7 @@ BB0:
         .unwrap();
 
         let cfg = rfh_alloc::AllocConfig::three_level(3, true);
-        rfh_alloc::allocate(&mut kernel, &cfg, &rfh_energy::EnergyModel::paper());
+        rfh_alloc::allocate(&mut kernel, &cfg, &rfh_energy::EnergyModel::paper()).unwrap();
         let mut hier_mem = GlobalMemory::from_f32(&data);
         execute(
             &kernel,
@@ -1114,7 +1396,7 @@ BB0:
 ";
         let mut kernel = rfh_isa::parse_kernel(text).unwrap();
         let cfg = rfh_alloc::AllocConfig::two_level(3);
-        rfh_alloc::allocate(&mut kernel, &cfg, &rfh_energy::EnergyModel::paper());
+        rfh_alloc::allocate(&mut kernel, &cfg, &rfh_energy::EnergyModel::paper()).unwrap();
         // Corrupt: point the store's value read at a wrong ORF entry.
         let at = InstrRef {
             block: rfh_isa::BlockId::new(0),
@@ -1127,7 +1409,7 @@ BB0:
         let mut sink = NullSink;
         let clean = {
             let mut k2 = rfh_isa::parse_kernel(text).unwrap();
-            rfh_alloc::allocate(&mut k2, &cfg, &rfh_energy::EnergyModel::paper());
+            rfh_alloc::allocate(&mut k2, &cfg, &rfh_energy::EnergyModel::paper()).unwrap();
             k2
         };
         execute(
@@ -1346,7 +1628,7 @@ BB4:
         // And the allocated kernel computes the same image.
         let cfg = rfh_alloc::AllocConfig::three_level(2, true);
         let mut allocated = kernel.clone();
-        rfh_alloc::allocate(&mut allocated, &cfg, &rfh_energy::EnergyModel::paper());
+        rfh_alloc::allocate(&mut allocated, &cfg, &rfh_energy::EnergyModel::paper()).unwrap();
         let mut hier = GlobalMemory::new(32);
         execute(
             &allocated,

@@ -61,5 +61,7 @@ pub use machine::MachineConfig;
 pub use mem::GlobalMemory;
 pub use rfc::{HwCounter, RfcConfig};
 pub use sink::TraceSink;
-pub use timing::{simulate_timing, SchedPolicy, TimingConfig, TimingResult};
+pub use timing::{
+    simulate_timing, SchedPolicy, TimingConfig, TimingError, TimingResult, DEFAULT_MAX_CYCLES,
+};
 pub use usage::UsageStats;

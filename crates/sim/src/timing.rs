@@ -20,11 +20,55 @@
 //!   proportional to events, not cycles.
 
 use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
 
 use rfh_isa::Unit;
 
 use crate::machine::MachineConfig;
 use crate::sink::{InstrEvent, TraceSink};
+
+/// Default cycle budget for a timing simulation ([`TimingConfig::max_cycles`]).
+///
+/// Far above any real workload in this repo (the full paper sweep stays
+/// under ten million cycles) while still bounding a runaway simulation to
+/// seconds of wall time thanks to idle-cycle fast-forwarding.
+pub const DEFAULT_MAX_CYCLES: u64 = 1_000_000_000;
+
+/// An error from the timing model: the simulation could not run to
+/// completion. Both cases indicate malformed input traces, not a scheduler
+/// bug — and both are returned instead of hanging or panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingError {
+    /// No active work and no pending events, but warps remain unretired —
+    /// typically a barrier mismatch (some warps of a CTA never arrive).
+    Deadlock {
+        /// The cycle at which the scheduler ran dry.
+        cycle: u64,
+    },
+    /// The simulation exceeded [`TimingConfig::max_cycles`].
+    CycleBudget {
+        /// The configured budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::Deadlock { cycle } => write!(
+                f,
+                "scheduler deadlock at cycle {cycle}: no active work and no \
+                 pending events (barrier mismatch?)"
+            ),
+            TimingError::CycleBudget { limit } => {
+                write!(f, "timing simulation exceeded the {limit}-cycle budget")
+            }
+        }
+    }
+}
+
+impl Error for TimingError {}
 
 /// One dynamic instruction in a warp's trace.
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +166,10 @@ pub struct TimingConfig {
     pub two_level: bool,
     /// Warp selection policy.
     pub policy: SchedPolicy,
+    /// Cycle budget: the simulation aborts with
+    /// [`TimingError::CycleBudget`] once `now` exceeds this. Defaults to
+    /// [`DEFAULT_MAX_CYCLES`].
+    pub max_cycles: u64,
 }
 
 impl TimingConfig {
@@ -132,6 +180,7 @@ impl TimingConfig {
             active_warps: active,
             two_level: true,
             policy: SchedPolicy::RoundRobin,
+            max_cycles: DEFAULT_MAX_CYCLES,
         }
     }
 
@@ -142,12 +191,19 @@ impl TimingConfig {
             active_warps: usize::MAX,
             two_level: false,
             policy: SchedPolicy::RoundRobin,
+            max_cycles: DEFAULT_MAX_CYCLES,
         }
     }
 
     /// Selects a warp selection policy.
     pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Overrides the cycle budget.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
         self
     }
 }
@@ -190,15 +246,19 @@ struct WarpSim {
 /// `cta_of` maps warp index → CTA (for barrier scoping); use
 /// [`TraceCapture::cta_of`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on a barrier deadlock (a CTA whose warps cannot all reach the
-/// barrier), which indicates a malformed workload.
+/// Returns [`TimingError::Deadlock`] on a barrier deadlock (a CTA whose
+/// warps cannot all reach the barrier — a malformed trace set), and
+/// [`TimingError::CycleBudget`] when the simulation exceeds
+/// [`TimingConfig::max_cycles`]. It never hangs: every loop iteration
+/// either advances `now` or retires work, and `now` is bounded by the
+/// budget.
 pub fn simulate_timing(
     traces: &[Vec<TraceOp>],
     cta_of: &dyn Fn(usize) -> usize,
     config: &TimingConfig,
-) -> TimingResult {
+) -> Result<TimingResult, TimingError> {
     let n = traces.len();
     let max_reg = traces
         .iter()
@@ -209,9 +269,15 @@ pub fn simulate_timing(
         .unwrap_or(0) as usize
         + 1;
     let mut warps: Vec<WarpSim> = (0..n)
-        .map(|_| WarpSim {
+        .map(|wi| WarpSim {
             next: 0,
-            status: Status::Pending { resume: 0 },
+            // A warp with an empty trace has nothing to retire; starting it
+            // Done keeps the issue loop free of empty-slice indexing.
+            status: if traces[wi].is_empty() {
+                Status::Done
+            } else {
+                Status::Pending { resume: 0 }
+            },
             reg_ready: vec![0; max_reg],
             long_regs: HashSet::new(),
         })
@@ -258,6 +324,11 @@ pub fn simulate_timing(
     loop {
         if warps.iter().all(|w| w.status == Status::Done) {
             break;
+        }
+        if now > config.max_cycles {
+            return Err(TimingError::CycleBudget {
+                limit: config.max_cycles,
+            });
         }
         let mut issued = false;
         let mut release_cta: Option<usize> = None;
@@ -393,19 +464,18 @@ pub fn simulate_timing(
                 next_event = next_event.min(resume.max(now + 1));
             }
         }
-        assert!(
-            next_event != u64::MAX,
-            "scheduler deadlock: no active work and no pending events (barrier mismatch?)"
-        );
+        if next_event == u64::MAX {
+            return Err(TimingError::Deadlock { cycle: now });
+        }
         now = next_event;
         activate(&mut warps, &mut active, now);
     }
 
-    TimingResult {
+    Ok(TimingResult {
         cycles: now,
         instructions,
         deschedules,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -474,7 +544,8 @@ BB2:
             &cap.traces,
             &|w| cap.cta_of(w),
             &TimingConfig::single_level(),
-        );
+        )
+        .unwrap();
         // One warp with serial dependences cannot reach IPC 1.
         assert!(r.ipc() < 0.7, "ipc = {}", r.ipc());
     }
@@ -487,7 +558,8 @@ BB2:
             &cap.traces,
             &|w| cap.cta_of(w),
             &TimingConfig::single_level(),
-        );
+        )
+        .unwrap();
         assert!(
             r.ipc() > 0.9,
             "32 warps should saturate issue, ipc = {}",
@@ -504,8 +576,10 @@ BB2:
                 &cap.traces,
                 &|w| cap.cta_of(w),
                 &TimingConfig::single_level(),
-            );
-            let two = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8));
+            )
+            .unwrap();
+            let two = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8))
+                .unwrap();
             let slowdown = two.cycles as f64 / base.cycles as f64;
             assert!(slowdown < 1.05, "two-level slowdown {slowdown} on {text}");
         }
@@ -518,8 +592,10 @@ BB2:
             &cap.traces,
             &|w| cap.cta_of(w),
             &TimingConfig::single_level(),
-        );
-        let tiny = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(1));
+        )
+        .unwrap();
+        let tiny =
+            simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(1)).unwrap();
         assert!(
             tiny.cycles as f64 > base.cycles as f64 * 1.3,
             "1 active warp cannot hide latency: {} vs {}",
@@ -531,7 +607,8 @@ BB2:
     #[test]
     fn descheduling_happens_on_long_latency() {
         let cap = capture(MEM_HEAVY, 8, 128, 4096);
-        let two = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8));
+        let two =
+            simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8)).unwrap();
         assert!(two.deschedules > 0);
     }
 
@@ -550,7 +627,8 @@ BB0:
 ";
         // 2 CTAs of 64 threads: barriers must not deadlock across CTAs.
         let cap = capture(text, 2, 64, 256);
-        let r = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(2));
+        let r =
+            simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(2)).unwrap();
         assert!(r.cycles > 0);
         assert_eq!(
             r.instructions,
@@ -558,12 +636,85 @@ BB0:
         );
     }
 
+    fn alu_op(dst: u16, src: u16) -> TraceOp {
+        TraceOp {
+            latency: 8,
+            unit: Unit::Alu,
+            long: false,
+            barrier: false,
+            dsts: [Some(dst), None],
+            srcs: [Some(src), None, None],
+        }
+    }
+
+    fn bar_op() -> TraceOp {
+        TraceOp {
+            latency: 1,
+            unit: Unit::Alu,
+            long: false,
+            barrier: true,
+            dsts: [None, None],
+            srcs: [None, None, None],
+        }
+    }
+
+    #[test]
+    fn barrier_mismatch_is_a_deadlock_error_not_a_hang() {
+        // Warp 0 waits at a mid-trace barrier that warp 1 (same CTA)
+        // never reaches — warp 1 retires without arriving, so warp 0 can
+        // never be released.
+        let traces = vec![vec![bar_op(), alu_op(0, 0)], vec![alu_op(1, 1)]];
+        let err = simulate_timing(&traces, &|_| 0, &TimingConfig::two_level(8)).unwrap_err();
+        assert!(matches!(err, TimingError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn mismatched_barrier_counts_are_a_deadlock_error() {
+        // Warp 1 executes two barriers but warp 0 only one: warp 1's second
+        // arrival can never be matched once warp 0 retires.
+        let traces = vec![
+            vec![bar_op(), alu_op(0, 0), alu_op(0, 0)],
+            vec![bar_op(), bar_op(), alu_op(1, 1)],
+        ];
+        let err = simulate_timing(&traces, &|_| 0, &TimingConfig::two_level(8)).unwrap_err();
+        assert!(matches!(err, TimingError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn cycle_budget_bounds_the_simulation() {
+        // A 100-op dependent chain at 8 cycles/op needs ~800 cycles; a
+        // 50-cycle budget must trip first.
+        let chain: Vec<TraceOp> = (0..100).map(|_| alu_op(0, 0)).collect();
+        let cfg = TimingConfig::single_level().with_max_cycles(50);
+        let err = simulate_timing(std::slice::from_ref(&chain), &|_| 0, &cfg).unwrap_err();
+        assert_eq!(err, TimingError::CycleBudget { limit: 50 });
+        // With the default budget the same trace completes.
+        let ok = simulate_timing(&[chain], &|_| 0, &TimingConfig::single_level()).unwrap();
+        assert!(ok.cycles > 50);
+    }
+
+    #[test]
+    fn cycle_budget_default_is_pinned() {
+        // Regression pin: changing the default budget changes which
+        // workloads are reported as runaway; do it deliberately.
+        assert_eq!(DEFAULT_MAX_CYCLES, 1_000_000_000);
+        assert_eq!(TimingConfig::two_level(8).max_cycles, DEFAULT_MAX_CYCLES);
+        assert_eq!(TimingConfig::single_level().max_cycles, DEFAULT_MAX_CYCLES);
+    }
+
+    #[test]
+    fn empty_traces_complete_immediately() {
+        let traces: Vec<Vec<TraceOp>> = vec![Vec::new(), Vec::new()];
+        let r = simulate_timing(&traces, &|_| 0, &TimingConfig::two_level(2)).unwrap();
+        assert_eq!(r.instructions, 0);
+    }
+
     #[test]
     fn instruction_counts_are_conserved() {
         let cap = capture(ALU_HEAVY, 2, 64, 128);
         let total: u64 = cap.traces.iter().map(|t| t.len() as u64).sum();
         for cfg in [TimingConfig::single_level(), TimingConfig::two_level(4)] {
-            let r = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &cfg);
+            let r = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &cfg).unwrap();
             assert_eq!(r.instructions, total);
         }
     }
@@ -606,12 +757,14 @@ BB2:
             &mut [&mut cap],
         )
         .unwrap();
-        let rr = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8));
+        let rr =
+            simulate_timing(&cap.traces, &|w| cap.cta_of(w), &TimingConfig::two_level(8)).unwrap();
         let greedy = simulate_timing(
             &cap.traces,
             &|w| cap.cta_of(w),
             &TimingConfig::two_level(8).with_policy(SchedPolicy::Greedy),
-        );
+        )
+        .unwrap();
         assert_eq!(rr.instructions, greedy.instructions);
         assert!(
             greedy.cycles as f64 >= rr.cycles as f64 * 0.95,

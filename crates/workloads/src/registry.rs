@@ -100,7 +100,7 @@ mod execution_tests {
         ] {
             for w in all() {
                 let mut kernel = w.kernel.clone();
-                rfh_alloc::allocate(&mut kernel, &cfg, &model);
+                rfh_alloc::allocate(&mut kernel, &cfg, &model).unwrap();
                 let mut sink = NullSink;
                 w.run_and_verify(ExecMode::Hierarchy(cfg), &kernel, &mut [&mut sink])
                     .unwrap_or_else(|e| panic!("{cfg}: {e}"));

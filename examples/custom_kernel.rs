@@ -44,7 +44,7 @@ fn main() {
         ("3-level, split LRF", AllocConfig::three_level(3, true)),
     ] {
         let mut k = kernel.clone();
-        allocate(&mut k, &cfg, &model);
+        allocate(&mut k, &cfg, &model).expect("structurally valid kernel");
         let (lrf, orf, mrf) = read_level_counts(&k);
         println!("{name:<28} {lrf:^9}  {orf:^9}  {mrf:^9}");
     }

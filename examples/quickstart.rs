@@ -34,7 +34,7 @@ BB0:
     // paper's most energy-efficient configuration.
     let config = AllocConfig::three_level(3, true);
     let model = EnergyModel::paper();
-    let stats = allocate(&mut kernel, &config, &model);
+    let stats = allocate(&mut kernel, &config, &model).expect("structurally valid kernel");
     println!("allocated: {stats:?}\n");
     println!("{}", rfh::isa::printer::print_kernel_annotated(&kernel));
 

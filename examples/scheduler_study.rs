@@ -35,10 +35,12 @@ fn main() {
             &cap.traces,
             &|x| cap.cta_of(x),
             &TimingConfig::single_level(),
-        );
+        )
+        .expect("replays within budget");
         print!("{name:<14}");
         for a in [1usize, 2, 4, 6, 8, 16, 32] {
-            let t = simulate_timing(&cap.traces, &|x| cap.cta_of(x), &TimingConfig::two_level(a));
+            let t = simulate_timing(&cap.traces, &|x| cap.cta_of(x), &TimingConfig::two_level(a))
+                .expect("replays within budget");
             print!("{:>8.3}", t.cycles as f64 / base.cycles as f64);
         }
         println!();

@@ -19,4 +19,29 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test -q --offline
 
+echo "==> chaos smoke (bounded fault-injection run)"
+RFH_CHAOS_CASES=200 cargo test -p rfh-chaos -q --offline
+
+echo "==> panic gate (hardened crates)"
+# Non-test library code of the hardened crates must stay panic-free:
+# no .unwrap() / panic! / unreachable! / todo! outside #[cfg(test)]
+# modules. `.expect("reason")` is allowed — the reason is the review gate.
+fail=0
+for f in crates/isa/src/*.rs crates/alloc/src/*.rs crates/sim/src/*.rs \
+    crates/chaos/src/*.rs; do
+    hits=$(awk '
+        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        /\.unwrap\(\)|panic!\(|unreachable!\(|todo!\(/ { print FILENAME ":" FNR ": " $0 }
+    ' "$f")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "panic gate FAILED: structured errors only in hardened library code"
+    exit 1
+fi
+
 echo "CI OK"

@@ -8,22 +8,44 @@
 //! rfhc [--orf N] [--lrf none|unified|split] [--no-partial] [--no-readop]
 //!      [--plain] [--stats] <kernel.rfasm | ->
 //! ```
+//!
+//! Exit codes are stable per error class (see `docs/ROBUSTNESS.md`):
+//! 0 success, 1 I/O, 2 usage, 3 parse error, 4 invalid kernel, 5 bad
+//! allocation config, 70 internal panic.
 
 use std::io::Read;
 use std::process::exit;
 
 use rfh::alloc::{allocate, AllocConfig, LrfMode};
 use rfh::energy::EnergyModel;
+use rfh::{RfhError, EXIT_INTERNAL_PANIC};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-partial] \
-         [--no-readop] [--plain] [--stats] <kernel.rfasm | ->"
-    );
-    exit(2)
+const USAGE: &str = "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-partial] \
+     [--no-readop] [--plain] [--stats] <kernel.rfasm | ->";
+
+fn usage(msg: &str) -> RfhError {
+    RfhError::Usage(format!("{msg}\n{USAGE}"))
 }
 
 fn main() {
+    // The libraries are panic-free by contract; a panic that reaches this
+    // boundary is a toolchain bug and gets its own exit code so scripted
+    // callers can tell it apart from every expected failure.
+    let code = match std::panic::catch_unwind(real_main) {
+        Ok(Ok(())) => 0,
+        Ok(Err(e)) => {
+            eprintln!("rfhc: {e}");
+            e.exit_code()
+        }
+        Err(_) => {
+            eprintln!("rfhc: internal error (panic); this is a bug");
+            EXIT_INTERNAL_PANIC
+        }
+    };
+    exit(code);
+}
+
+fn real_main() -> Result<(), RfhError> {
     let mut config = AllocConfig::three_level(3, true);
     let mut plain = false;
     let mut stats_only = false;
@@ -33,11 +55,12 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--orf" => {
-                let n = args.next().unwrap_or_else(|| usage());
-                config.orf_entries = n.parse().unwrap_or_else(|_| usage());
+                let n = args.next().ok_or_else(|| usage("--orf needs a value"))?;
+                config.orf_entries = n
+                    .parse()
+                    .map_err(|_| usage("--orf needs an integer value"))?;
                 if config.orf_entries > 8 {
-                    eprintln!("rfhc: ORF sizes beyond 8 entries have no energy model");
-                    exit(2);
+                    return Err(usage("ORF sizes beyond 8 entries have no energy model"));
                 }
             }
             "--lrf" => {
@@ -45,46 +68,47 @@ fn main() {
                     Some("none") => LrfMode::None,
                     Some("unified") => LrfMode::Unified,
                     Some("split") => LrfMode::Split,
-                    _ => usage(),
+                    _ => return Err(usage("--lrf needs none|unified|split")),
                 }
             }
             "--no-partial" => config.partial_ranges = false,
             "--no-readop" => config.read_operands = false,
             "--plain" => plain = true,
             "--stats" => stats_only = true,
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => return Err(usage("")),
             "-" if input.is_none() => input = Some("-".into()),
             other if input.is_none() && !other.starts_with('-') => input = Some(other.into()),
-            _ => usage(),
+            other => return Err(usage(&format!("unrecognized argument `{other}`"))),
         }
     }
-    let Some(path) = input else { usage() };
+    let path = input.ok_or_else(|| usage("no input file"))?;
 
     let text = if path == "-" {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
-            .expect("read stdin");
+            .map_err(|source| RfhError::Io {
+                path: "-".into(),
+                source,
+            })?;
         buf
     } else {
-        match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("rfhc: cannot read {path}: {e}");
-                exit(1);
-            }
-        }
+        std::fs::read_to_string(&path).map_err(|source| RfhError::Io {
+            path: path.clone(),
+            source,
+        })?
     };
 
-    let mut kernel = match rfh::isa::parse_kernel(&text) {
-        Ok(k) => k,
-        Err(e) => {
-            eprintln!("rfhc: {e}");
-            exit(1);
-        }
-    };
+    let mut kernel = rfh::isa::parse_kernel(&text)?;
 
-    let stats = allocate(&mut kernel, &config, &EnergyModel::paper());
+    let stats = allocate(&mut kernel, &config, &EnergyModel::paper())?;
+    if stats.demoted > 0 {
+        eprintln!(
+            "rfhc: warning: internal placement validation failed; \
+             kernel demoted to MRF-only placement ({} demotion)",
+            stats.demoted
+        );
+    }
     if stats_only || !plain {
         eprintln!(
             "rfhc: {} — {} strands, {} LRF values, {} ORF values ({} partial), {} read operands",
@@ -97,11 +121,12 @@ fn main() {
         );
     }
     if stats_only {
-        return;
+        return Ok(());
     }
     if plain {
         print!("{}", rfh::isa::printer::print_kernel(&kernel));
     } else {
         print!("{}", rfh::isa::printer::print_kernel_annotated(&kernel));
     }
+    Ok(())
 }

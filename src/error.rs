@@ -1,0 +1,177 @@
+//! The unified error taxonomy of the `rfh` toolchain.
+//!
+//! Every component crate reports failures through its own error type
+//! ([`rfh_isa::IsaError`], [`rfh_alloc::AllocError`],
+//! [`rfh_sim::ExecError`], [`rfh_sim::TimingError`]); [`RfhError`] folds
+//! them into one enum so a driver can handle "anything the pipeline can
+//! report" uniformly and map each class to a stable process exit code.
+//!
+//! The exit-code contract (documented in `docs/ROBUSTNESS.md` and relied
+//! on by `tests/cli.rs`):
+//!
+//! | code | meaning                                     |
+//! |------|---------------------------------------------|
+//! | 0    | success                                     |
+//! | 1    | I/O failure (unreadable input, stdin error) |
+//! | 2    | usage error (bad flags or arguments)        |
+//! | 3    | parse error in the kernel text              |
+//! | 4    | structurally invalid kernel                 |
+//! | 5    | allocation configuration error              |
+//! | 6    | execution error                             |
+//! | 7    | timing-model error (deadlock, cycle budget) |
+//! | 70   | internal panic caught at the driver boundary|
+
+use std::fmt;
+
+use rfh_alloc::AllocError;
+use rfh_isa::IsaError;
+use rfh_sim::{ExecError, TimingError};
+
+/// Exit code used when the driver's `catch_unwind` boundary traps a panic
+/// that escaped the library (a bug, by definition — the libraries are
+/// panic-free by contract).
+pub const EXIT_INTERNAL_PANIC: i32 = 70;
+
+/// Any error the rfh pipeline can report.
+#[derive(Debug)]
+pub enum RfhError {
+    /// Reading input failed.
+    Io {
+        /// The path (or `-` for stdin) that could not be read.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The command line was malformed.
+    Usage(String),
+    /// The kernel text failed to parse or validate.
+    Isa(IsaError),
+    /// Allocation rejected its input or configuration.
+    Alloc(AllocError),
+    /// Functional execution failed.
+    Exec(ExecError),
+    /// The timing model aborted (deadlock or cycle budget).
+    Timing(TimingError),
+}
+
+impl RfhError {
+    /// The stable process exit code for this error class (see the module
+    /// docs for the full table).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            RfhError::Io { .. } => 1,
+            RfhError::Usage(_) => 2,
+            RfhError::Isa(IsaError::Parse { .. }) => 3,
+            RfhError::Isa(IsaError::Validate { .. }) => 4,
+            // An invalid kernel is the same failure whether the caller or
+            // the allocator noticed it first.
+            RfhError::Alloc(AllocError::InvalidKernel(_)) => 4,
+            RfhError::Alloc(AllocError::Config(_)) => 5,
+            RfhError::Exec(_) => 6,
+            RfhError::Timing(_) => 7,
+        }
+    }
+}
+
+impl fmt::Display for RfhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RfhError::Io { path, source } => write!(f, "cannot read {path}: {source}"),
+            RfhError::Usage(msg) => write!(f, "usage error: {msg}"),
+            RfhError::Isa(e) => write!(f, "{e}"),
+            RfhError::Alloc(e) => write!(f, "{e}"),
+            RfhError::Exec(e) => write!(f, "{e}"),
+            RfhError::Timing(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RfhError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RfhError::Io { source, .. } => Some(source),
+            RfhError::Usage(_) => None,
+            RfhError::Isa(e) => Some(e),
+            RfhError::Alloc(e) => Some(e),
+            RfhError::Exec(e) => Some(e),
+            RfhError::Timing(e) => Some(e),
+        }
+    }
+}
+
+impl From<IsaError> for RfhError {
+    fn from(e: IsaError) -> Self {
+        RfhError::Isa(e)
+    }
+}
+
+impl From<AllocError> for RfhError {
+    fn from(e: AllocError) -> Self {
+        RfhError::Alloc(e)
+    }
+}
+
+impl From<ExecError> for RfhError {
+    fn from(e: ExecError) -> Self {
+        RfhError::Exec(e)
+    }
+}
+
+impl From<TimingError> for RfhError {
+    fn from(e: TimingError) -> Self {
+        RfhError::Timing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let codes = [
+            RfhError::Io {
+                path: "x".into(),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "nope"),
+            }
+            .exit_code(),
+            RfhError::Usage("bad flag".into()).exit_code(),
+            RfhError::Isa(IsaError::Parse {
+                line: 1,
+                msg: "junk".into(),
+            })
+            .exit_code(),
+            RfhError::Isa(IsaError::Validate {
+                at: "BB0".into(),
+                msg: "bad".into(),
+            })
+            .exit_code(),
+            RfhError::Alloc(AllocError::Config("cfg".into())).exit_code(),
+            RfhError::Timing(TimingError::Deadlock { cycle: 3 }).exit_code(),
+        ];
+        assert_eq!(codes, [1, 2, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn validate_maps_like_alloc_invalid_kernel() {
+        let via_isa = RfhError::Isa(IsaError::Validate {
+            at: "BB0".into(),
+            msg: "bad".into(),
+        });
+        let via_alloc = RfhError::Alloc(AllocError::InvalidKernel(IsaError::Validate {
+            at: "BB0".into(),
+            msg: "bad".into(),
+        }));
+        assert_eq!(via_isa.exit_code(), via_alloc.exit_code());
+    }
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = RfhError::from(IsaError::Parse {
+            line: 7,
+            msg: "unknown opcode".into(),
+        });
+        assert!(e.to_string().contains("unknown opcode"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -37,9 +37,22 @@
 //!   st.global r0, r2
 //!   exit
 //! ").unwrap();
-//! let stats = allocate(&mut kernel, &AllocConfig::three_level(3, true), &EnergyModel::paper());
+//! let stats = allocate(&mut kernel, &AllocConfig::three_level(3, true), &EnergyModel::paper())
+//!     .expect("structurally valid kernel");
 //! assert!(stats.lrf_values + stats.orf_values > 0);
 //! ```
+//!
+//! ## Robustness
+//!
+//! The pipeline is panic-free on arbitrary input: parsing, validation,
+//! allocation, execution, and timing all return `Result`, unified under
+//! [`RfhError`] with a stable exit-code mapping for drivers. See
+//! `docs/ROBUSTNESS.md` for the error taxonomy and the `rfh-chaos`
+//! fault-injection harness that enforces it.
+
+pub mod error;
+
+pub use error::{RfhError, EXIT_INTERNAL_PANIC};
 
 pub use rfh_alloc as alloc;
 pub use rfh_analysis as analysis;

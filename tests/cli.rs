@@ -78,7 +78,15 @@ fn missing_file_is_a_read_error() {
 #[test]
 fn malformed_kernel_is_a_parse_error() {
     let out = rfhc_stdin(&["-"], "this is not a kernel\n");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(3), "parse errors exit with code 3");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rfhc:"));
+}
+
+#[test]
+fn structurally_invalid_kernel_is_exit_code_4() {
+    // Parses fine but fails validation: code after `exit` in the block.
+    let out = rfhc_stdin(&["-"], ".kernel bad\nBB0:\n  exit\n  iadd r0 r0, r0\n");
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("rfhc:"));
 }
 

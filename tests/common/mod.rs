@@ -29,7 +29,7 @@ pub fn check_allocated_matches_baseline(seed: u64, cfg: AllocConfig, shape: GenC
     .unwrap();
 
     let mut allocated = kernel.clone();
-    allocate(&mut allocated, &cfg, &EnergyModel::paper());
+    allocate(&mut allocated, &cfg, &EnergyModel::paper()).unwrap();
     validate_placements(&allocated, &cfg).unwrap();
 
     let mut hier_mem = mem.clone();

@@ -24,7 +24,7 @@ fn every_workload_runs_correctly_under_every_config() {
     for w in rfh::workloads::all() {
         for cfg in configs() {
             let mut kernel = w.kernel.clone();
-            allocate(&mut kernel, &cfg, &model);
+            allocate(&mut kernel, &cfg, &model).unwrap();
             validate_placements(&kernel, &cfg)
                 .unwrap_or_else(|e| panic!("{} under {cfg}: {e}", w.name));
             let mode = if cfg.is_baseline() {
@@ -55,7 +55,7 @@ fn allocation_strictly_reduces_energy_on_every_workload() {
         let base = base_counter.counts();
 
         let mut kernel = w.kernel.clone();
-        allocate(&mut kernel, &cfg, &model);
+        allocate(&mut kernel, &cfg, &model).unwrap();
         let mut counter = SwCounter::default();
         let mut sink2: &mut dyn rfh::sim::TraceSink = &mut counter;
         w.run_and_verify(
@@ -99,7 +99,7 @@ fn more_orf_entries_never_reduce_upper_level_reads() {
         for entries in 1..=8 {
             let mut kernel = w.kernel.clone();
             let cfg = AllocConfig::two_level(entries);
-            allocate(&mut kernel, &cfg, &model);
+            allocate(&mut kernel, &cfg, &model).unwrap();
             let mut counter = SwCounter::default();
             let mut sink: &mut dyn rfh::sim::TraceSink = &mut counter;
             w.run_and_verify(
@@ -148,7 +148,8 @@ fn allocator_scales_to_large_kernels() {
         &mut k,
         &AllocConfig::three_level(3, true),
         &EnergyModel::paper(),
-    );
+    )
+    .unwrap();
     let elapsed = start.elapsed();
     assert!(stats.orf_values + stats.lrf_values > 50);
     assert!(

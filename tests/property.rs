@@ -79,7 +79,7 @@ prop! {
         let total: u64 = cap.traces.iter().map(|t| t.len() as u64).sum();
         let mut cfg = TimingConfig::two_level(active);
         cfg.machine = MachineConfig::paper();
-        let r = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &cfg);
+        let r = simulate_timing(&cap.traces, &|w| cap.cta_of(w), &cfg).unwrap();
         prop_assert_eq!(r.instructions, total);
         prop_assert!(r.cycles >= total);
     }
