@@ -7,7 +7,9 @@ use rfh_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use rfh_bench::bench_subset;
-use rfh_experiments::{encoding, fig11, fig12, fig13, fig14, fig15, fig2, limit, perf, tables};
+use rfh_experiments::{
+    encoding, fig11, fig12, fig13, fig14, fig15, fig2, limit, perf, tables, ExperimentCtx,
+};
 
 fn bench_figures(c: &mut Criterion) {
     let ws = bench_subset();
@@ -23,29 +25,31 @@ fn bench_figures(c: &mut Criterion) {
         })
     });
     g.bench_function("fig2_usage_patterns", |b| b.iter(|| black_box(fig2::run())));
+    // Each iteration builds a fresh context so the figure benches measure
+    // full regeneration cost, not cache hits.
     g.bench_function("fig11_two_level_breakdown", |b| {
-        b.iter(|| black_box(fig11::run(&ws)))
+        b.iter(|| black_box(fig11::run(&ExperimentCtx::new(&ws))))
     });
     g.bench_function("fig12_three_level_breakdown", |b| {
-        b.iter(|| black_box(fig12::run(&ws)))
+        b.iter(|| black_box(fig12::run(&ExperimentCtx::new(&ws))))
     });
     g.bench_function("fig13_energy_sweep", |b| {
-        b.iter(|| black_box(fig13::run(&ws)))
+        b.iter(|| black_box(fig13::run(&ExperimentCtx::new(&ws))))
     });
     g.bench_function("fig14_energy_breakdown", |b| {
-        b.iter(|| black_box(fig14::run(&ws)))
+        b.iter(|| black_box(fig14::run(&ExperimentCtx::new(&ws))))
     });
     g.bench_function("fig15_per_benchmark", |b| {
-        b.iter(|| black_box(fig15::run(&ws)))
+        b.iter(|| black_box(fig15::run(&ExperimentCtx::new(&ws))))
     });
     g.bench_function("sec6_5_encoding", |b| {
         b.iter(|| black_box(encoding::run(black_box(0.4))))
     });
     g.bench_function("sec6_perf_scheduler", |b| {
-        b.iter(|| black_box(perf::run(&ws, &[2, 8, 32])))
+        b.iter(|| black_box(perf::run(&ExperimentCtx::new(&ws), &[2, 8, 32])))
     });
     g.bench_function("sec7_limit_study", |b| {
-        b.iter(|| black_box(limit::run(&ws)))
+        b.iter(|| black_box(limit::run(&ExperimentCtx::new(&ws))))
     });
     g.finish();
 }

@@ -16,6 +16,10 @@
 //! Anything else — a panic, an execution-mode asymmetry, or an unflagged
 //! placement corruption that changes results — aborts the run with a
 //! message naming the case seed, replayable via `RFH_TESTKIT_SEED`.
+//!
+//! Cases fan out over the `RFH_JOBS` worker pool. Each case's seed is
+//! derived up front from the base seed, and outcomes are folded in case
+//! order, so reports and failure messages are identical at any job count.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -24,6 +28,7 @@ use rfh_energy::EnergyModel;
 use rfh_isa::Kernel;
 use rfh_sim::exec::{execute_with, ExecMode};
 use rfh_sim::machine::MachineConfig;
+use rfh_testkit::pool::par_map;
 use rfh_testkit::prelude::*;
 use rfh_workloads::Workload;
 
@@ -83,6 +88,29 @@ pub fn seed_from_env(default_seed: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default_seed)
+}
+
+/// Derives the per-case seed stream: every case's seed is a deterministic
+/// function of the base seed alone, so cases can run in parallel over the
+/// `RFH_JOBS` pool and still replay individually via `RFH_TESTKIT_SEED`.
+fn case_seeds(base_seed: u64, cases: usize) -> Vec<u64> {
+    let mut seeder = SplitMix64::new(base_seed);
+    (0..cases).map(|_| seeder.next_u64()).collect()
+}
+
+/// Folds parallel case outcomes into a report in case order, so the first
+/// violation reported is always the lowest-numbered case regardless of
+/// which worker found it.
+fn fold_cases(
+    seeds: &[u64],
+    outcomes: Vec<std::thread::Result<Result<CaseOutcome, String>>>,
+    layer: &str,
+) -> Result<ChaosReport, String> {
+    let mut report = ChaosReport::default();
+    for (case, caught) in outcomes.into_iter().enumerate() {
+        record(&mut report, caught, layer, case, seeds[case])?;
+    }
+    Ok(report)
 }
 
 /// Mutant executions are bounded: a corrupted kernel may loop forever, and
@@ -178,11 +206,9 @@ pub fn run_byte_layer(
     base_seed: u64,
 ) -> Result<ChaosReport, String> {
     let text = rfh_isa::printer::print_kernel(&w.kernel);
-    let mut seeder = SplitMix64::new(base_seed);
-    let mut report = ChaosReport::default();
-    for case in 0..cases {
-        let seed = seeder.next_u64();
-        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+    let seeds = case_seeds(base_seed, cases);
+    let outcomes = par_map(&seeds, |&seed| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
             let mut rng = SmallRng::seed_from_u64(seed);
             let mutated = byte::mutate_text(&text, &mut rng);
             if mutated == text {
@@ -192,10 +218,9 @@ pub fn run_byte_layer(
                 Err(_) => Ok(CaseOutcome::Rejected),
                 Ok(kernel) => differential(&kernel, cfg, w),
             }
-        }));
-        record(&mut report, caught, "byte", case, seed)?;
-    }
-    Ok(report)
+        }))
+    });
+    fold_cases(&seeds, outcomes, "byte")
 }
 
 /// Fuzzes the validator/allocator with structural IR corruptions.
@@ -209,11 +234,9 @@ pub fn run_ir_layer(
     cases: usize,
     base_seed: u64,
 ) -> Result<ChaosReport, String> {
-    let mut seeder = SplitMix64::new(base_seed);
-    let mut report = ChaosReport::default();
-    for case in 0..cases {
-        let seed = seeder.next_u64();
-        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+    let seeds = case_seeds(base_seed, cases);
+    let outcomes = par_map(&seeds, |&seed| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut mutant = w.kernel.clone();
             ir::mutate_kernel(&mut mutant, &mut rng);
@@ -224,10 +247,9 @@ pub fn run_ir_layer(
                 Err(_) => Ok(CaseOutcome::Rejected),
                 Ok(()) => differential(&mutant, cfg, w),
             }
-        }));
-        record(&mut report, caught, "IR", case, seed)?;
-    }
-    Ok(report)
+        }))
+    });
+    fold_cases(&seeds, outcomes, "IR")
 }
 
 /// Fuzzes the placement validator with corrupted placements on a
@@ -261,11 +283,9 @@ pub fn run_place_layer(
     )
     .map_err(|e| format!("seed kernel failed to execute: {e}"))?;
 
-    let mut seeder = SplitMix64::new(base_seed);
-    let mut report = ChaosReport::default();
-    for case in 0..cases {
-        let seed = seeder.next_u64();
-        let caught = catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+    let seeds = case_seeds(base_seed, cases);
+    let outcomes = par_map(&seeds, |&seed| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut mutant = allocated.clone();
             place::mutate_placements(&mut mutant, cfg.orf_entries, &mut rng);
@@ -291,8 +311,7 @@ pub fn run_place_layer(
                     "unflagged placement corruption changed results — validator unsoundness".into(),
                 ),
             }
-        }));
-        record(&mut report, caught, "placement", case, seed)?;
-    }
-    Ok(report)
+        }))
+    });
+    fold_cases(&seeds, outcomes, "placement")
 }

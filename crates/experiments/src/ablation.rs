@@ -11,12 +11,12 @@
 //!   allocating read misses).
 
 use rfh_alloc::AllocConfig;
-use rfh_energy::{AccessCounts, EnergyModel};
 use rfh_sim::rfc::RfcConfig;
-use rfh_workloads::Workload;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{norm, pct, Table};
-use crate::runner::{baseline_counts, hw_counts, mean, normalized_energy, sw_counts};
+use crate::runner::{mean, normalized_energy};
 
 /// One ablation row.
 #[derive(Debug, Clone)]
@@ -27,14 +27,22 @@ pub struct AblationRow {
     pub energy: f64,
 }
 
-/// Runs the ablation matrix.
+/// One cell of the ablation matrix: a variant × workload pair.
+#[derive(Clone, Copy)]
+enum Cell {
+    Sw(AllocConfig, usize),
+    Hw(RfcConfig, usize),
+}
+
+/// Runs the ablation matrix. The (variant × workload) cells run in
+/// parallel over the `RFH_JOBS` pool; the best configuration and the HW
+/// baseline come from the shared context cache.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn run(workloads: &[Workload]) -> Vec<AblationRow> {
-    let model = EnergyModel::paper();
-    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
+pub fn run(ctx: &ExperimentCtx) -> Vec<AblationRow> {
+    let n = ctx.workloads().len();
     let best = AllocConfig::three_level(3, true);
 
     let sw_variants: Vec<(&str, AllocConfig)> = vec![
@@ -72,24 +80,7 @@ pub fn run(workloads: &[Workload]) -> Vec<AblationRow> {
         ),
     ];
 
-    let mut rows: Vec<AblationRow> = sw_variants
-        .into_iter()
-        .map(|(name, cfg)| {
-            let energies: Vec<f64> = workloads
-                .iter()
-                .zip(&bases)
-                .map(|(w, b)| {
-                    normalized_energy(&sw_counts(w, &cfg, &model), b, &model, cfg.orf_entries)
-                })
-                .collect();
-            AblationRow {
-                name: name.into(),
-                energy: mean(&energies),
-            }
-        })
-        .collect();
-
-    for (name, cfg) in [
+    let hw_variants: Vec<(&str, RfcConfig)> = vec![
         ("HW RFC(6), write-allocate (§2.2)", RfcConfig::two_level(6)),
         (
             "HW RFC(6), also allocate read misses",
@@ -98,18 +89,36 @@ pub fn run(workloads: &[Workload]) -> Vec<AblationRow> {
                 ..RfcConfig::two_level(6)
             },
         ),
-    ] {
-        let energies: Vec<f64> = workloads
-            .iter()
-            .zip(&bases)
-            .map(|(w, b)| normalized_energy(&hw_counts(w, &cfg), b, &model, 6))
-            .collect();
-        rows.push(AblationRow {
-            name: name.into(),
-            energy: mean(&energies),
-        });
-    }
-    rows
+    ];
+
+    let names: Vec<&str> = sw_variants
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(hw_variants.iter().map(|(n, _)| *n))
+        .collect();
+    let cells: Vec<Cell> = sw_variants
+        .iter()
+        .flat_map(|&(_, cfg)| (0..n).map(move |i| Cell::Sw(cfg, i)))
+        .chain(
+            hw_variants
+                .iter()
+                .flat_map(|&(_, cfg)| (0..n).map(move |i| Cell::Hw(cfg, i))),
+        )
+        .collect();
+    let energies: Vec<f64> = par_map(&cells, |cell| match *cell {
+        Cell::Sw(cfg, i) => ctx.sw_normalized(i, &cfg),
+        Cell::Hw(cfg, i) => {
+            normalized_energy(&ctx.hw_counts(i, &cfg), &ctx.baseline(i), ctx.model(), 6)
+        }
+    });
+    names
+        .iter()
+        .zip(energies.chunks(n))
+        .map(|(name, per_variant)| AblationRow {
+            name: (*name).into(),
+            energy: mean(per_variant),
+        })
+        .collect()
 }
 
 /// Renders the ablation table, with deltas against the best configuration.
@@ -128,11 +137,12 @@ mod tests {
 
     #[test]
     fn removing_mechanisms_never_helps() {
-        let workloads: Vec<Workload> = ["matrixmul", "mandelbrot", "dct8x8", "cp", "needle"]
-            .iter()
-            .map(|n| rfh_workloads::by_name(n).unwrap())
-            .collect();
-        let rows = run(&workloads);
+        let workloads: Vec<rfh_workloads::Workload> =
+            ["matrixmul", "mandelbrot", "dct8x8", "cp", "needle"]
+                .iter()
+                .map(|n| rfh_workloads::by_name(n).unwrap())
+                .collect();
+        let rows = run(&ExperimentCtx::new(&workloads));
         let best = rows[0].energy;
         // Partial ranges can very slightly hurt (the §4.3 greedy
         // sub-optimality the paper acknowledges); everything else must

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--csv <dir>] [experiment...]
+//! repro [--csv <dir>] [--bench-json <path>] [experiment...]
 //!
 //! experiments:
 //!   table1 table2 table3 table4   the paper's input tables
@@ -18,24 +18,41 @@
 //!   characterize                  workload characterization table
 //!   all                           everything (default)
 //! ```
+//!
+//! All experiments share one [`ExperimentCtx`], so baselines, allocated
+//! kernels, and access counts are computed once no matter how many
+//! experiments reuse them, and the fig13 sweep feeding `encoding` is the
+//! same sweep printed by `fig13`. Cells fan out over the `RFH_JOBS` pool;
+//! output (including every CSV) is byte-identical at any job count.
+//!
+//! `--bench-json <path>` writes per-experiment wall times as JSON
+//! (schema `rfh-repro-bench-v1`).
 
 use std::time::Instant;
 
 use rfh_experiments::{
     ablation, characterize, encoding, fig11, fig12, fig13, fig14, fig15, fig2, limit, perf, tables,
+    ExperimentCtx,
 };
+
+/// Extracts `--flag <value>` from `args`, removing both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        let value = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        value
+    })
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--csv <dir>` additionally writes each experiment's data as CSV.
-    let csv_dir: Option<String> = args.iter().position(|a| a == "--csv").map(|i| {
-        let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--csv requires a directory");
-            std::process::exit(2);
-        });
-        args.drain(i..=i + 1);
-        dir
-    });
+    let csv_dir = take_flag(&mut args, "--csv");
+    // `--bench-json <path>` records per-experiment wall times.
+    let bench_json = take_flag(&mut args, "--bench-json");
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
@@ -69,6 +86,15 @@ fn main() {
     };
 
     let workloads = rfh_workloads::all();
+    let ctx = ExperimentCtx::new(&workloads);
+    // The fig13 sweep is shared between the `fig13` and `encoding`
+    // experiments: whichever runs first computes it.
+    let mut fig13_cached: Option<fig13::Fig13> = None;
+    let mut fig13_sweep = |ctx: &ExperimentCtx| -> fig13::Fig13 {
+        fig13_cached.get_or_insert_with(|| fig13::run(ctx)).clone()
+    };
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let overall = Instant::now();
     for exp in wanted {
         let start = Instant::now();
         let output = match exp {
@@ -82,19 +108,19 @@ fn main() {
                 fig2::print(&r)
             }
             "fig11" => {
-                let r = fig11::run(&workloads);
+                let r = fig11::run(&ctx);
                 write_csv("fig11", rfh_experiments::csv::fig11_csv(&r));
                 fig11::print(&r)
             }
             "fig12" => {
-                let r = fig12::run(&workloads);
+                let r = fig12::run(&ctx);
                 write_csv("fig12", rfh_experiments::csv::fig12_csv(&r));
                 fig12::print(&r)
             }
             "fig13" => {
-                let f = fig13::run(&workloads);
+                let f = fig13_sweep(&ctx);
                 write_csv("fig13", rfh_experiments::csv::fig13_csv(&f));
-                let (split, unified) = fig13::split_vs_unified(&workloads, 3);
+                let (split, unified) = fig13::split_vs_unified(&ctx, 3);
                 format!(
                     "{}split vs unified LRF @3: {:.3} vs {:.3}\n",
                     fig13::print(&f),
@@ -103,37 +129,37 @@ fn main() {
                 )
             }
             "fig14" => {
-                let r = fig14::run(&workloads);
+                let r = fig14::run(&ctx);
                 write_csv("fig14", rfh_experiments::csv::fig14_csv(&r));
                 fig14::print(&r)
             }
             "fig15" => {
-                let r = fig15::run(&workloads);
+                let r = fig15::run(&ctx);
                 write_csv("fig15", rfh_experiments::csv::fig15_csv(&r));
                 fig15::print(&r)
             }
             "encoding" => {
-                let f = fig13::run(&workloads);
+                let f = fig13_sweep(&ctx);
                 let best = f.best(|p| p.sw_lrf_split).1;
                 encoding::print(&encoding::run(1.0 - best))
             }
             "perf" => {
-                let r = perf::run(&workloads, &[1, 2, 4, 6, 8, 16, 32]);
+                let r = perf::run(&ctx, &[1, 2, 4, 6, 8, 16, 32]);
                 write_csv("perf", rfh_experiments::csv::perf_csv(&r));
                 perf::print(&r)
             }
             "limit" => {
-                let r = limit::run(&workloads);
+                let r = limit::run(&ctx);
                 write_csv("limit", rfh_experiments::csv::limit_csv(&r));
                 limit::print(&r)
             }
             "ablation" => {
-                let r = ablation::run(&workloads);
+                let r = ablation::run(&ctx);
                 write_csv("ablation", rfh_experiments::csv::ablation_csv(&r));
                 ablation::print(&r)
             }
             "characterize" => {
-                let r = characterize::run(&workloads);
+                let r = characterize::run(&ctx);
                 write_csv("characterize", rfh_experiments::csv::characterize_csv(&r));
                 characterize::print(&r)
             }
@@ -143,6 +169,23 @@ fn main() {
             }
         };
         println!("{output}");
-        eprintln!("[{exp} took {:.1}s]\n", start.elapsed().as_secs_f32());
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!("[{exp} took {secs:.1}s]\n");
+        timings.push((exp.to_string(), secs));
+    }
+    if let Some(path) = &bench_json {
+        let total = overall.elapsed().as_secs_f64();
+        let experiments: Vec<String> = timings
+            .iter()
+            .map(|(name, secs)| format!("    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}"))
+            .collect();
+        let json = format!(
+            "{{\n  \"schema\": \"rfh-repro-bench-v1\",\n  \"jobs\": {},\n  \
+             \"total_seconds\": {total:.3},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+            rfh_testkit::pool::jobs(),
+            experiments.join(",\n")
+        );
+        std::fs::write(path, json).expect("write bench json");
+        eprintln!("[wrote {path}]");
     }
 }

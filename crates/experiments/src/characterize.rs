@@ -5,8 +5,9 @@
 use rfh_isa::Unit;
 use rfh_sim::exec::ExecMode;
 use rfh_sim::sink::{InstrEvent, TraceSink};
-use rfh_workloads::Workload;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{pct, Table};
 
 /// Dynamic characteristics of one workload.
@@ -67,36 +68,34 @@ impl TraceSink for MixSink {
     }
 }
 
-/// Characterizes every workload (running each to completion).
+/// Characterizes every workload (running each to completion), fanning the
+/// workloads out over the `RFH_JOBS` pool.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn run(workloads: &[Workload]) -> Vec<Character> {
-    workloads
-        .iter()
-        .map(|w| {
-            let mut kernel = w.kernel.clone();
-            let info = rfh_analysis::strand::mark_strands(&mut kernel);
-            let mut sink = MixSink::default();
-            w.run_and_verify(ExecMode::Baseline, &kernel, &mut [&mut sink])
-                .unwrap_or_else(|e| panic!("{e}"));
-            let t = sink.total.max(1) as f64;
-            Character {
-                name: w.name.clone(),
-                suite: w.suite.to_string(),
-                warp_instructions: sink.total,
-                alu_frac: sink.alu as f64 / t,
-                mem_frac: sink.mem as f64 / t,
-                sfu_frac: sink.sfu as f64 / t,
-                tex_frac: sink.tex as f64 / t,
-                divergent_frac: sink.divergent as f64 / t,
-                registers: kernel.num_regs(),
-                strands: info.strands.len(),
-                mean_strand_len: sink.total as f64 / sink.strand_ends.max(1) as f64,
-            }
-        })
-        .collect()
+pub fn run(ctx: &ExperimentCtx) -> Vec<Character> {
+    par_map(ctx.workloads(), |w| {
+        let mut kernel = w.kernel.clone();
+        let info = rfh_analysis::strand::mark_strands(&mut kernel);
+        let mut sink = MixSink::default();
+        w.run_and_verify(ExecMode::Baseline, &kernel, &mut [&mut sink])
+            .unwrap_or_else(|e| panic!("{e}"));
+        let t = sink.total.max(1) as f64;
+        Character {
+            name: w.name.clone(),
+            suite: w.suite.to_string(),
+            warp_instructions: sink.total,
+            alu_frac: sink.alu as f64 / t,
+            mem_frac: sink.mem as f64 / t,
+            sfu_frac: sink.sfu as f64 / t,
+            tex_frac: sink.tex as f64 / t,
+            divergent_frac: sink.divergent as f64 / t,
+            registers: kernel.num_regs(),
+            strands: info.strands.len(),
+            mean_strand_len: sink.total as f64 / sink.strand_ends.max(1) as f64,
+        }
+    })
 }
 
 /// Renders the characterization table.
@@ -138,11 +137,12 @@ mod tests {
 
     #[test]
     fn fractions_are_consistent() {
-        let ws: Vec<Workload> = ["mandelbrot", "mri-q", "sortingnetworks", "bicubictexture"]
-            .iter()
-            .map(|n| rfh_workloads::by_name(n).unwrap())
-            .collect();
-        let rows = run(&ws);
+        let ws: Vec<rfh_workloads::Workload> =
+            ["mandelbrot", "mri-q", "sortingnetworks", "bicubictexture"]
+                .iter()
+                .map(|n| rfh_workloads::by_name(n).unwrap())
+                .collect();
+        let rows = run(&ExperimentCtx::new(&ws));
         for r in &rows {
             let sum = r.alu_frac + r.mem_frac + r.sfu_frac + r.tex_frac;
             assert!(sum <= 1.0 + 1e-9, "{}: {sum}", r.name);

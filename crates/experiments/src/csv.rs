@@ -236,14 +236,15 @@ mod tests {
             .iter()
             .map(|n| rfh_workloads::by_name(n).unwrap())
             .collect();
-        let f13 = fig13::run(&ws);
+        let ctx = crate::ExperimentCtx::new(&ws);
+        let f13 = fig13::run(&ctx);
         let csv = fig13_csv(&f13);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 9, "header + 8 entries");
         let cols = lines[0].split(',').count();
         assert!(lines.iter().all(|l| l.split(',').count() == cols));
 
-        let rows = characterize::run(&ws);
+        let rows = characterize::run(&ctx);
         let csv = characterize_csv(&rows);
         assert_eq!(csv.lines().count(), 3);
     }

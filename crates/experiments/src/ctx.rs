@@ -1,0 +1,218 @@
+//! The shared experiment context: one workload set, one energy model, and
+//! memoized per-cell results, so no baseline run, allocation, or counted
+//! execution is ever performed twice in one process.
+//!
+//! Every figure of the evaluation sweeps some cross-product of
+//! (workload × configuration), and the cross-products overlap heavily —
+//! `fig12`, `fig13`, `fig14`, `fig15`, `limit`, and `ablation` all visit
+//! `AllocConfig::three_level(k, true)` cells, and every experiment needs
+//! each workload's single-level baseline. [`ExperimentCtx`] caches
+//!
+//! * baseline access counts per workload,
+//! * allocated kernels per (workload, [`AllocConfig`]),
+//! * hierarchy-faithful SW access counts per (workload, [`AllocConfig`]),
+//! * HW cache access counts per (workload, [`RfcConfig`]),
+//!
+//! behind thread-safe interior mutability, so the experiment modules can
+//! fan cells out across [`rfh_testkit::pool::par_map`] workers and share
+//! one cache. All cached quantities are deterministic functions of their
+//! key; concurrent computation of the same key is benign (first writer
+//! wins, results are identical).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rfh_alloc::AllocConfig;
+use rfh_energy::{AccessCounts, EnergyModel};
+use rfh_isa::Kernel;
+use rfh_sim::counts::SwCounter;
+use rfh_sim::exec::ExecMode;
+use rfh_sim::rfc::RfcConfig;
+use rfh_workloads::Workload;
+
+use crate::runner;
+
+/// Memoized experiment state over one workload set (see module docs).
+pub struct ExperimentCtx<'w> {
+    workloads: &'w [Workload],
+    model: EnergyModel,
+    baselines: Vec<OnceLock<AccessCounts>>,
+    kernels: Mutex<HashMap<(usize, AllocConfig), Arc<Kernel>>>,
+    sw: Mutex<HashMap<(usize, AllocConfig), AccessCounts>>,
+    hw: Mutex<HashMap<(usize, RfcConfig), AccessCounts>>,
+}
+
+impl<'w> ExperimentCtx<'w> {
+    /// A fresh context over `workloads` with the paper's energy model.
+    pub fn new(workloads: &'w [Workload]) -> Self {
+        ExperimentCtx {
+            workloads,
+            model: EnergyModel::paper(),
+            baselines: workloads.iter().map(|_| OnceLock::new()).collect(),
+            kernels: Mutex::new(HashMap::new()),
+            sw: Mutex::new(HashMap::new()),
+            hw: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The workload set this context memoizes over.
+    pub fn workloads(&self) -> &'w [Workload] {
+        self.workloads
+    }
+
+    /// The energy model shared by every experiment.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Single-level baseline access counts of workload `i`, computed on
+    /// first use and shared by every subsequent caller (and thread).
+    ///
+    /// # Panics
+    ///
+    /// As for [`runner::baseline_counts`]; also if `i` is out of range.
+    pub fn baseline(&self, i: usize) -> AccessCounts {
+        *self.baselines[i].get_or_init(|| runner::baseline_counts(&self.workloads[i]))
+    }
+
+    /// The kernel of workload `i` allocated under `cfg` (with this
+    /// context's model), memoized per (workload, config).
+    ///
+    /// # Panics
+    ///
+    /// Panics if allocation fails — a toolchain bug, as for
+    /// [`runner::sw_counts`].
+    pub fn allocated(&self, i: usize, cfg: &AllocConfig) -> Arc<Kernel> {
+        let key = (i, *cfg);
+        if let Some(k) = self.kernels.lock().expect("kernel cache lock").get(&key) {
+            return Arc::clone(k);
+        }
+        // Computed outside the lock so a slow allocation does not
+        // serialize the pool; a concurrent duplicate is benign (the
+        // allocator is deterministic, first insert wins).
+        let mut kernel = self.workloads[i].kernel.clone();
+        rfh_alloc::allocate(&mut kernel, cfg, &self.model)
+            .unwrap_or_else(|e| panic!("allocation failed: {e}"));
+        Arc::clone(
+            self.kernels
+                .lock()
+                .expect("kernel cache lock")
+                .entry(key)
+                .or_insert_with(|| Arc::new(kernel)),
+        )
+    }
+
+    /// Hierarchy-faithful SW access counts of workload `i` under `cfg`,
+    /// memoized per (workload, config). Uses [`Self::allocated`], so the
+    /// allocation itself is also shared.
+    ///
+    /// # Panics
+    ///
+    /// As for [`runner::sw_counts`].
+    pub fn sw_counts(&self, i: usize, cfg: &AllocConfig) -> AccessCounts {
+        let key = (i, *cfg);
+        if let Some(c) = self.sw.lock().expect("sw cache lock").get(&key) {
+            return *c;
+        }
+        let kernel = self.allocated(i, cfg);
+        let w = &self.workloads[i];
+        let mut counter = SwCounter::default();
+        w.run_and_verify(ExecMode::Hierarchy(*cfg), &kernel, &mut [&mut counter])
+            .unwrap_or_else(|e| panic!("sw run failed: {e}"));
+        let counts = counter.counts();
+        *self
+            .sw
+            .lock()
+            .expect("sw cache lock")
+            .entry(key)
+            .or_insert(counts)
+    }
+
+    /// Hardware-cache access counts of workload `i` under `cfg`, memoized
+    /// per (workload, config).
+    ///
+    /// # Panics
+    ///
+    /// As for [`runner::hw_counts`].
+    pub fn hw_counts(&self, i: usize, cfg: &RfcConfig) -> AccessCounts {
+        let key = (i, *cfg);
+        if let Some(c) = self.hw.lock().expect("hw cache lock").get(&key) {
+            return *c;
+        }
+        let counts = runner::hw_counts(&self.workloads[i], cfg);
+        *self
+            .hw
+            .lock()
+            .expect("hw cache lock")
+            .entry(key)
+            .or_insert(counts)
+    }
+
+    /// Per-benchmark normalized energy of SW counts against the memoized
+    /// baseline: `energy(sw(i, cfg)) / energy(baseline(i))`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`runner::normalized_energy`] (the ORF size contract) and
+    /// [`Self::sw_counts`].
+    pub fn sw_normalized(&self, i: usize, cfg: &AllocConfig) -> f64 {
+        runner::normalized_energy(
+            &self.sw_counts(i, cfg),
+            &self.baseline(i),
+            &self.model,
+            cfg.orf_entries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_testkit::pool::par_map;
+
+    fn workloads() -> Vec<Workload> {
+        ["vectoradd", "scalarprod"]
+            .iter()
+            .map(|n| rfh_workloads::by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn memoized_results_match_direct_computation() {
+        let ws = workloads();
+        let ctx = ExperimentCtx::new(&ws);
+        let cfg = AllocConfig::three_level(3, true);
+        let rfc = RfcConfig::two_level(6);
+        for (i, w) in ws.iter().enumerate() {
+            assert_eq!(ctx.baseline(i), runner::baseline_counts(w));
+            assert_eq!(
+                ctx.sw_counts(i, &cfg),
+                runner::sw_counts(w, &cfg, ctx.model())
+            );
+            assert_eq!(ctx.hw_counts(i, &rfc), runner::hw_counts(w, &rfc));
+            // Second lookups hit the caches and agree exactly.
+            assert_eq!(ctx.baseline(i), ctx.baseline(i));
+            assert_eq!(ctx.sw_counts(i, &cfg), ctx.sw_counts(i, &cfg));
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_of_one_cell_agree() {
+        let ws = workloads();
+        let ctx = ExperimentCtx::new(&ws);
+        let cfg = AllocConfig::two_level(3);
+        let hits: Vec<(AccessCounts, AccessCounts)> =
+            par_map(&[0usize; 16], |_| (ctx.baseline(0), ctx.sw_counts(0, &cfg)));
+        assert!(hits.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
+    fn allocated_kernels_are_shared() {
+        let ws = workloads();
+        let ctx = ExperimentCtx::new(&ws);
+        let cfg = AllocConfig::three_level(3, true);
+        let a = ctx.allocated(0, &cfg);
+        let b = ctx.allocated(0, &cfg);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the kernel");
+    }
+}

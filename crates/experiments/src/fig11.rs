@@ -11,12 +11,13 @@
 //! * SW reduces MRF reads relative to HW for realistic sizes.
 
 use rfh_alloc::AllocConfig;
-use rfh_energy::{AccessCounts, EnergyModel};
+use rfh_energy::AccessCounts;
 use rfh_sim::rfc::RfcConfig;
-use rfh_workloads::Workload;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{pct, Table};
-use crate::runner::{baseline_counts, hw_counts, mean, sw_counts};
+use crate::runner::mean;
 
 /// Read/write fractions (of baseline totals) at each level for one scheme
 /// and size.
@@ -82,30 +83,36 @@ fn fold(per_bench: &[(AccessCounts, AccessCounts)], entries: usize) -> Breakdown
     }
 }
 
-/// Runs the sweep over the given workloads (pass `rfh_workloads::all()` to
-/// reproduce the figure).
+/// Runs the sweep over the context's workloads (use
+/// `ExperimentCtx::new(&rfh_workloads::all())` to reproduce the figure).
+/// The (entries × workload) cells run in parallel over the `RFH_JOBS`
+/// pool; the fold order is fixed, so output is identical at any job count.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn run(workloads: &[Workload]) -> Fig11 {
-    let model = EnergyModel::paper();
-    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
+pub fn run(ctx: &ExperimentCtx) -> Fig11 {
+    let n = ctx.workloads().len();
+    let cells: Vec<(usize, usize)> = (1..=8usize)
+        .flat_map(|entries| (0..n).map(move |i| (entries, i)))
+        .collect();
+    let counted: Vec<(AccessCounts, AccessCounts, AccessCounts)> =
+        par_map(&cells, |&(entries, i)| {
+            let b = ctx.baseline(i);
+            let hw = ctx.hw_counts(i, &RfcConfig::two_level(entries));
+            let sw = ctx.sw_counts(i, &AllocConfig::two_level(entries));
+            (hw, sw, b)
+        });
     let mut hw = Vec::new();
     let mut sw = Vec::new();
-    for entries in 1..=8usize {
-        let hw_counts: Vec<(AccessCounts, AccessCounts)> = workloads
-            .iter()
-            .zip(&bases)
-            .map(|(w, b)| (hw_counts(w, &RfcConfig::two_level(entries)), *b))
-            .collect();
-        hw.push(fold(&hw_counts, entries));
-        let sw_counts: Vec<(AccessCounts, AccessCounts)> = workloads
-            .iter()
-            .zip(&bases)
-            .map(|(w, b)| (sw_counts(w, &AllocConfig::two_level(entries), &model), *b))
-            .collect();
-        sw.push(fold(&sw_counts, entries));
+    for (e, per_entry) in counted.chunks(n).enumerate() {
+        let entries = e + 1;
+        let hwc: Vec<(AccessCounts, AccessCounts)> =
+            per_entry.iter().map(|(h, _, b)| (*h, *b)).collect();
+        hw.push(fold(&hwc, entries));
+        let swc: Vec<(AccessCounts, AccessCounts)> =
+            per_entry.iter().map(|(_, s, b)| (*s, *b)).collect();
+        sw.push(fold(&swc, entries));
     }
     Fig11 { hw, sw }
 }
@@ -146,7 +153,7 @@ pub fn print(f: &Fig11) -> String {
 mod tests {
     use super::*;
 
-    fn subset() -> Vec<Workload> {
+    fn subset() -> Vec<rfh_workloads::Workload> {
         ["vectoradd", "scalarprod", "mandelbrot", "needle"]
             .iter()
             .map(|n| rfh_workloads::by_name(n).unwrap())
@@ -155,7 +162,8 @@ mod tests {
 
     #[test]
     fn hw_has_overhead_reads_and_sw_does_not() {
-        let f = run(&subset());
+        let ws = subset();
+        let f = run(&ExperimentCtx::new(&ws));
         assert_eq!(f.hw.len(), 8);
         for (h, s) in f.hw.iter().zip(&f.sw) {
             // SW read traffic is conserved exactly.
@@ -189,7 +197,8 @@ mod tests {
 
     #[test]
     fn more_entries_capture_more_reads() {
-        let f = run(&subset());
+        let ws = subset();
+        let f = run(&ExperimentCtx::new(&ws));
         assert!(f.sw[7].upper_reads >= f.sw[0].upper_reads);
         assert!(f.hw[7].mrf_reads <= f.hw[0].mrf_reads + 1e-9);
     }

@@ -5,12 +5,13 @@
 //! single entry, and SW overhead writes drop from ~40% (HW) to under 10%.
 
 use rfh_alloc::AllocConfig;
-use rfh_energy::{AccessCounts, EnergyModel};
+use rfh_energy::AccessCounts;
 use rfh_sim::rfc::RfcConfig;
-use rfh_workloads::Workload;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{pct, Table};
-use crate::runner::{baseline_counts, hw_counts, mean, sw_counts};
+use crate::runner::mean;
 
 /// Per-level read/write fractions for one scheme and size.
 #[derive(Debug, Clone, Copy)]
@@ -66,33 +67,33 @@ fn fold(per_bench: &[(AccessCounts, AccessCounts)], entries: usize) -> Breakdown
     }
 }
 
-/// Runs the three-level sweep.
+/// Runs the three-level sweep. The (entries × workload) cells run in
+/// parallel over the `RFH_JOBS` pool with a fixed fold order.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn run(workloads: &[Workload]) -> Fig12 {
-    let model = EnergyModel::paper();
-    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
+pub fn run(ctx: &ExperimentCtx) -> Fig12 {
+    let n = ctx.workloads().len();
+    let cells: Vec<(usize, usize)> = (1..=8usize)
+        .flat_map(|entries| (0..n).map(move |i| (entries, i)))
+        .collect();
+    let counted: Vec<(AccessCounts, AccessCounts, AccessCounts)> =
+        par_map(&cells, |&(entries, i)| {
+            let b = ctx.baseline(i);
+            let hw = ctx.hw_counts(i, &RfcConfig::three_level(entries));
+            let sw = ctx.sw_counts(i, &AllocConfig::three_level(entries, true));
+            (hw, sw, b)
+        });
     let mut hw = Vec::new();
     let mut sw = Vec::new();
-    for entries in 1..=8usize {
-        let hwc: Vec<(AccessCounts, AccessCounts)> = workloads
-            .iter()
-            .zip(&bases)
-            .map(|(w, b)| (hw_counts(w, &RfcConfig::three_level(entries)), *b))
-            .collect();
+    for (e, per_entry) in counted.chunks(n).enumerate() {
+        let entries = e + 1;
+        let hwc: Vec<(AccessCounts, AccessCounts)> =
+            per_entry.iter().map(|(h, _, b)| (*h, *b)).collect();
         hw.push(fold(&hwc, entries));
-        let swc: Vec<(AccessCounts, AccessCounts)> = workloads
-            .iter()
-            .zip(&bases)
-            .map(|(w, b)| {
-                (
-                    sw_counts(w, &AllocConfig::three_level(entries, true), &model),
-                    *b,
-                )
-            })
-            .collect();
+        let swc: Vec<(AccessCounts, AccessCounts)> =
+            per_entry.iter().map(|(_, s, b)| (*s, *b)).collect();
         sw.push(fold(&swc, entries));
     }
     Fig12 { hw, sw }
@@ -135,7 +136,7 @@ pub fn print(f: &Fig12) -> String {
 mod tests {
     use super::*;
 
-    fn subset() -> Vec<Workload> {
+    fn subset() -> Vec<rfh_workloads::Workload> {
         ["matrixmul", "backprop", "dct8x8", "sortingnetworks", "srad"]
             .iter()
             .map(|n| rfh_workloads::by_name(n).unwrap())
@@ -144,7 +145,8 @@ mod tests {
 
     #[test]
     fn lrf_captures_substantial_reads() {
-        let f = run(&subset());
+        let ws = subset();
+        let f = run(&ExperimentCtx::new(&ws));
         let s3 = &f.sw[2];
         assert!(
             s3.lrf_reads > 0.15,
@@ -159,7 +161,8 @@ mod tests {
 
     #[test]
     fn read_totals_conserved_for_sw() {
-        let f = run(&subset());
+        let ws = subset();
+        let f = run(&ExperimentCtx::new(&ws));
         for s in &f.sw {
             let total = s.lrf_reads + s.orf_reads + s.mrf_reads;
             assert!((total - 1.0).abs() < 1e-9, "total = {total}");

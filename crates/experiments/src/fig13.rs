@@ -7,12 +7,12 @@
 //! entries); the SW three-level design is the overall winner.
 
 use rfh_alloc::AllocConfig;
-use rfh_energy::{AccessCounts, EnergyModel};
 use rfh_sim::rfc::RfcConfig;
-use rfh_workloads::Workload;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{norm, Table};
-use crate::runner::{baseline_counts, hw_counts, mean, normalized_energy, sw_counts};
+use crate::runner::{mean, normalized_energy};
 
 /// Normalized energies for one entry count.
 #[derive(Debug, Clone, Copy)]
@@ -47,54 +47,64 @@ impl Fig13 {
     }
 }
 
-/// Runs the energy sweep.
+/// Runs the energy sweep. The (entries × workload) cells — each covering
+/// all four schemes — run in parallel over the `RFH_JOBS` pool with a
+/// fixed fold order.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn run(workloads: &[Workload]) -> Fig13 {
-    let model = EnergyModel::paper();
-    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
-    let mut points = Vec::new();
-    for entries in 1..=8usize {
-        let mut cols = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for (w, b) in workloads.iter().zip(&bases) {
-            let hw = hw_counts(w, &RfcConfig::two_level(entries));
-            cols[0].push(normalized_energy(&hw, b, &model, entries));
-            let hw3 = hw_counts(w, &RfcConfig::three_level(entries));
-            cols[1].push(normalized_energy(&hw3, b, &model, entries));
-            let sw = sw_counts(w, &AllocConfig::two_level(entries), &model);
-            cols[2].push(normalized_energy(&sw, b, &model, entries));
-            let sw3 = sw_counts(w, &AllocConfig::three_level(entries, true), &model);
-            cols[3].push(normalized_energy(&sw3, b, &model, entries));
-        }
-        points.push(EnergyPoint {
-            entries,
-            hw: mean(&cols[0]),
-            hw_lrf: mean(&cols[1]),
-            sw: mean(&cols[2]),
-            sw_lrf_split: mean(&cols[3]),
-        });
-    }
+pub fn run(ctx: &ExperimentCtx) -> Fig13 {
+    let n = ctx.workloads().len();
+    let cells: Vec<(usize, usize)> = (1..=8usize)
+        .flat_map(|entries| (0..n).map(move |i| (entries, i)))
+        .collect();
+    let norms: Vec<[f64; 4]> = par_map(&cells, |&(entries, i)| {
+        let b = ctx.baseline(i);
+        let model = ctx.model();
+        let hw = ctx.hw_counts(i, &RfcConfig::two_level(entries));
+        let hw3 = ctx.hw_counts(i, &RfcConfig::three_level(entries));
+        [
+            normalized_energy(&hw, &b, model, entries),
+            normalized_energy(&hw3, &b, model, entries),
+            ctx.sw_normalized(i, &AllocConfig::two_level(entries)),
+            ctx.sw_normalized(i, &AllocConfig::three_level(entries, true)),
+        ]
+    });
+    let points = norms
+        .chunks(n)
+        .enumerate()
+        .map(|(e, per_entry)| {
+            let col = |c: usize| mean(&per_entry.iter().map(|v| v[c]).collect::<Vec<_>>());
+            EnergyPoint {
+                entries: e + 1,
+                hw: col(0),
+                hw_lrf: col(1),
+                sw: col(2),
+                sw_lrf_split: col(3),
+            }
+        })
+        .collect();
     Fig13 { points }
 }
 
 /// Also used by §6.4: the split-vs-unified LRF comparison at one size.
+/// Baselines and the split-LRF cells come from the shared context cache,
+/// so nothing already computed by [`run`] executes again.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn split_vs_unified(workloads: &[Workload], entries: usize) -> (f64, f64) {
-    let model = EnergyModel::paper();
-    let mut split = Vec::new();
-    let mut unified = Vec::new();
-    for w in workloads {
-        let b = baseline_counts(w);
-        let s = sw_counts(w, &AllocConfig::three_level(entries, true), &model);
-        split.push(normalized_energy(&s, &b, &model, entries));
-        let u = sw_counts(w, &AllocConfig::three_level(entries, false), &model);
-        unified.push(normalized_energy(&u, &b, &model, entries));
-    }
+pub fn split_vs_unified(ctx: &ExperimentCtx, entries: usize) -> (f64, f64) {
+    let idx: Vec<usize> = (0..ctx.workloads().len()).collect();
+    let pairs: Vec<(f64, f64)> = par_map(&idx, |&i| {
+        (
+            ctx.sw_normalized(i, &AllocConfig::three_level(entries, true)),
+            ctx.sw_normalized(i, &AllocConfig::three_level(entries, false)),
+        )
+    });
+    let split: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let unified: Vec<f64> = pairs.iter().map(|p| p.1).collect();
     (mean(&split), mean(&unified))
 }
 
@@ -128,7 +138,7 @@ pub fn print(f: &Fig13) -> String {
 mod tests {
     use super::*;
 
-    fn subset() -> Vec<Workload> {
+    fn subset() -> Vec<rfh_workloads::Workload> {
         ["vectoradd", "matrixmul", "nbody", "hotspot"]
             .iter()
             .map(|n| rfh_workloads::by_name(n).unwrap())
@@ -137,7 +147,8 @@ mod tests {
 
     #[test]
     fn orderings_match_the_paper() {
-        let f = run(&subset());
+        let ws = subset();
+        let f = run(&ExperimentCtx::new(&ws));
         assert_eq!(f.points.len(), 8);
         // At every size, SW beats HW and three levels beat two for SW.
         for p in &f.points {
@@ -157,7 +168,8 @@ mod tests {
 
     #[test]
     fn split_lrf_not_worse_than_unified() {
-        let (split, unified) = split_vs_unified(&subset(), 3);
+        let ws = subset();
+        let (split, unified) = split_vs_unified(&ExperimentCtx::new(&ws), 3);
         assert!(
             split <= unified + 0.01,
             "split {split} vs unified {unified}"

@@ -7,11 +7,12 @@
 //! reads, costs almost nothing; LRF wire is under 1% of baseline energy.
 
 use rfh_alloc::AllocConfig;
-use rfh_energy::{AccessCounts, EnergyBreakdown, EnergyModel};
-use rfh_workloads::Workload;
+use rfh_energy::EnergyBreakdown;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{norm, Table};
-use crate::runner::{baseline_counts, mean, sw_counts};
+use crate::runner::mean;
 
 /// One stacked bar: normalized components at a given ORF size.
 #[derive(Debug, Clone, Copy)]
@@ -22,34 +23,41 @@ pub struct Fig14Point {
     pub breakdown: EnergyBreakdown,
 }
 
-/// Runs the breakdown sweep for the SW split-LRF design.
+/// Runs the breakdown sweep for the SW split-LRF design. The
+/// (entries × workload) cells run in parallel over the `RFH_JOBS` pool
+/// with a fixed fold order.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn run(workloads: &[Workload]) -> Vec<Fig14Point> {
-    let model = EnergyModel::paper();
-    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
-    (1..=8usize)
-        .map(|entries| {
-            let mut comps: Vec<EnergyBreakdown> = Vec::new();
-            for (w, b) in workloads.iter().zip(&bases) {
-                let c = sw_counts(w, &AllocConfig::three_level(entries, true), &model);
-                let base = model
-                    .baseline_energy(b.total_reads(), b.total_writes())
-                    .total();
-                comps.push(model.energy(&c, entries).normalized_to(base));
-            }
+pub fn run(ctx: &ExperimentCtx) -> Vec<Fig14Point> {
+    let n = ctx.workloads().len();
+    let cells: Vec<(usize, usize)> = (1..=8usize)
+        .flat_map(|entries| (0..n).map(move |i| (entries, i)))
+        .collect();
+    let comps: Vec<EnergyBreakdown> = par_map(&cells, |&(entries, i)| {
+        let b = ctx.baseline(i);
+        let model = ctx.model();
+        let c = ctx.sw_counts(i, &AllocConfig::three_level(entries, true));
+        let base = model
+            .baseline_energy(b.total_reads(), b.total_writes())
+            .total();
+        model.energy(&c, entries).normalized_to(base)
+    });
+    comps
+        .chunks(n)
+        .enumerate()
+        .map(|(e, per_entry)| {
             let avg = EnergyBreakdown {
-                mrf_access: mean(&comps.iter().map(|c| c.mrf_access).collect::<Vec<_>>()),
-                mrf_wire: mean(&comps.iter().map(|c| c.mrf_wire).collect::<Vec<_>>()),
-                orf_access: mean(&comps.iter().map(|c| c.orf_access).collect::<Vec<_>>()),
-                orf_wire: mean(&comps.iter().map(|c| c.orf_wire).collect::<Vec<_>>()),
-                lrf_access: mean(&comps.iter().map(|c| c.lrf_access).collect::<Vec<_>>()),
-                lrf_wire: mean(&comps.iter().map(|c| c.lrf_wire).collect::<Vec<_>>()),
+                mrf_access: mean(&per_entry.iter().map(|c| c.mrf_access).collect::<Vec<_>>()),
+                mrf_wire: mean(&per_entry.iter().map(|c| c.mrf_wire).collect::<Vec<_>>()),
+                orf_access: mean(&per_entry.iter().map(|c| c.orf_access).collect::<Vec<_>>()),
+                orf_wire: mean(&per_entry.iter().map(|c| c.orf_wire).collect::<Vec<_>>()),
+                lrf_access: mean(&per_entry.iter().map(|c| c.lrf_access).collect::<Vec<_>>()),
+                lrf_wire: mean(&per_entry.iter().map(|c| c.lrf_wire).collect::<Vec<_>>()),
             };
             Fig14Point {
-                entries,
+                entries: e + 1,
                 breakdown: avg,
             }
         })
@@ -91,7 +99,7 @@ pub fn print(points: &[Fig14Point]) -> String {
 mod tests {
     use super::*;
 
-    fn subset() -> Vec<Workload> {
+    fn subset() -> Vec<rfh_workloads::Workload> {
         ["matrixmul", "nbody", "sad"]
             .iter()
             .map(|n| rfh_workloads::by_name(n).unwrap())
@@ -100,7 +108,8 @@ mod tests {
 
     #[test]
     fn mrf_dominates_and_lrf_wire_is_negligible() {
-        let points = run(&subset());
+        let ws = subset();
+        let points = run(&ExperimentCtx::new(&ws));
         let p3 = &points[2];
         let b = p3.breakdown;
         let mrf = b.mrf_access + b.mrf_wire;

@@ -7,11 +7,10 @@
 //! descheduling keeps invalidating the LRF/ORF.
 
 use rfh_alloc::AllocConfig;
-use rfh_energy::EnergyModel;
-use rfh_workloads::Workload;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{norm, Table};
-use crate::runner::{baseline_counts, normalized_energy, sw_counts};
 
 /// One per-benchmark bar.
 #[derive(Debug, Clone)]
@@ -24,26 +23,25 @@ pub struct BenchEnergy {
     pub energy: f64,
 }
 
-/// Runs the best configuration on every workload.
+/// Runs the best configuration on every workload, in parallel over the
+/// `RFH_JOBS` pool. Baselines and the best-configuration cells come from
+/// the shared context cache, so a benchmark already counted by another
+/// experiment is never executed twice.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn run(workloads: &[Workload]) -> Vec<BenchEnergy> {
-    let model = EnergyModel::paper();
+pub fn run(ctx: &ExperimentCtx) -> Vec<BenchEnergy> {
     let cfg = AllocConfig::three_level(3, true);
-    let mut rows: Vec<BenchEnergy> = workloads
-        .iter()
-        .map(|w| {
-            let b = baseline_counts(w);
-            let c = sw_counts(w, &cfg, &model);
-            BenchEnergy {
-                name: w.name.clone(),
-                suite: w.suite.to_string(),
-                energy: normalized_energy(&c, &b, &model, 3),
-            }
-        })
-        .collect();
+    let idx: Vec<usize> = (0..ctx.workloads().len()).collect();
+    let mut rows: Vec<BenchEnergy> = par_map(&idx, |&i| {
+        let w = &ctx.workloads()[i];
+        BenchEnergy {
+            name: w.name.clone(),
+            suite: w.suite.to_string(),
+            energy: ctx.sw_normalized(i, &cfg),
+        }
+    });
     rows.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
     rows
 }
@@ -71,7 +69,8 @@ mod tests {
 
     #[test]
     fn every_benchmark_saves_energy_and_worst_cases_match() {
-        let rows = run(&rfh_workloads::all());
+        let ws = rfh_workloads::all();
+        let rows = run(&ExperimentCtx::new(&ws));
         assert!(rows.len() >= 15);
         for r in &rows {
             assert!(

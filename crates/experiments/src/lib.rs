@@ -26,10 +26,18 @@
 //! methodology, §5.1) and *verify each run against the workload's host
 //! reference*, so a counting result is never produced from a mis-executed
 //! program.
+//!
+//! The experiment engine is **parallel and memoized**: each `run` takes a
+//! shared [`ctx::ExperimentCtx`] that caches baseline counts, allocated
+//! kernels, and counted executions per (workload, config), and fans the
+//! remaining independent sweep cells out over `rfh_testkit::pool::par_map`
+//! (`RFH_JOBS` controls the worker count). Results are folded in input
+//! order, so output is byte-identical for any `RFH_JOBS` value.
 
 pub mod ablation;
 pub mod characterize;
 pub mod csv;
+pub mod ctx;
 pub mod encoding;
 pub mod fig11;
 pub mod fig12;
@@ -43,4 +51,5 @@ pub mod report;
 pub mod runner;
 pub mod tables;
 
+pub use ctx::ExperimentCtx;
 pub use runner::{baseline_counts, hw_counts, sw_counts};

@@ -24,23 +24,39 @@ use rfh_energy::{AccessCounts, EnergyModel};
 use rfh_sim::counts::StrandCounter;
 use rfh_sim::exec::ExecMode;
 use rfh_sim::rfc::RfcConfig;
-use rfh_workloads::Workload;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{pct, Table};
-use crate::runner::{baseline_counts, hw_counts, mean, normalized_energy, sw_counts};
+use crate::runner::{mean, normalized_energy};
 
 /// Per-strand oracle (§7 "variable allocation of ORF resources"): allocate
 /// the kernel once per ORF size, count accesses per strand, and let every
 /// strand keep its cheapest size — charging each strand the access energy
 /// of the size it chose, as if the scheduler partitioned the physical ORF
 /// per warp exactly as requested.
-fn per_strand_oracle(w: &Workload, base: &AccessCounts, model: &EnergyModel) -> f64 {
+///
+/// Allocation decisions depend on the energy model, so only the context's
+/// own model may reuse the shared kernel cache; the 6-warp variant
+/// allocates fresh.
+fn per_strand_oracle(
+    ctx: &ExperimentCtx,
+    i: usize,
+    base: &AccessCounts,
+    model: &EnergyModel,
+) -> f64 {
+    let w = &ctx.workloads()[i];
     let mut per_k: Vec<Vec<AccessCounts>> = Vec::new();
     for k in 1..=8usize {
         let cfg = AllocConfig::three_level(k, true);
-        let mut kernel = w.kernel.clone();
-        rfh_alloc::allocate(&mut kernel, &cfg, model)
-            .unwrap_or_else(|e| panic!("allocation failed: {e}"));
+        let kernel = if model == ctx.model() {
+            ctx.allocated(i, &cfg)
+        } else {
+            let mut kernel = w.kernel.clone();
+            rfh_alloc::allocate(&mut kernel, &cfg, model)
+                .unwrap_or_else(|e| panic!("allocation failed: {e}"));
+            std::sync::Arc::new(kernel)
+        };
         let mut counter = StrandCounter::new(&kernel);
         w.run_and_verify(ExecMode::Hierarchy(cfg), &kernel, &mut [&mut counter])
             .unwrap_or_else(|e| panic!("{e}"));
@@ -109,30 +125,20 @@ fn ideal_counts_energy(base: &AccessCounts, model: &EnergyModel, lrf: bool) -> f
 
 /// Charged-at-3-entries energy: counts from a `k`-entry allocation, access
 /// energy from the 3-entry table row.
-fn charged_at_3(w: &Workload, base: &AccessCounts, model: &EnergyModel, k: usize) -> f64 {
-    let c = sw_counts(w, &AllocConfig::three_level(k, true), model);
-    normalized_energy(&c, base, model, 3)
+fn charged_at_3(ctx: &ExperimentCtx, i: usize, base: &AccessCounts, k: usize) -> f64 {
+    let c = ctx.sw_counts(i, &AllocConfig::three_level(k, true));
+    normalized_energy(&c, base, ctx.model(), 3)
 }
 
-/// Runs the limit study.
+/// Runs the limit study. Workloads fan out over the `RFH_JOBS` pool; the
+/// realistic design, the charged-at-3 bounds, and the HW backedge
+/// variants all come from the shared context cache.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute or verify.
-pub fn run(workloads: &[Workload]) -> LimitStudy {
-    let model = EnergyModel::paper();
-    let bases: Vec<AccessCounts> = workloads.iter().map(baseline_counts).collect();
-
-    let mut realistic = Vec::new();
-    let mut all_lrf = Vec::new();
-    let mut all_orf5 = Vec::new();
-    let mut var_orf = Vec::new();
-    let mut var_orf6 = Vec::new();
-    let mut hw_flush = Vec::new();
-    let mut hw_keep = Vec::new();
-    let mut s8 = Vec::new();
-    let mut s5 = Vec::new();
-    let mut nf = Vec::new();
+pub fn run(ctx: &ExperimentCtx) -> LimitStudy {
+    let model = ctx.model();
 
     // A 6-active-warp model: the upper-level structures shrink to 6/8 of
     // their size; scale their access energies accordingly (idealized).
@@ -147,59 +153,51 @@ pub fn run(workloads: &[Workload]) -> LimitStudy {
         m
     };
 
-    for (w, base) in workloads.iter().zip(&bases) {
-        realistic.push(normalized_energy(
-            &sw_counts(w, &AllocConfig::three_level(3, true), &model),
-            base,
-            &model,
-            3,
-        ));
-        all_lrf.push(ideal_counts_energy(base, &model, true));
-        all_orf5.push(ideal_counts_energy(base, &model, false));
-
-        // Per-strand oracle ORF sizing (§7), with the 8-active-warp and
-        // 6-active-warp energy tables.
-        var_orf.push(per_strand_oracle(w, base, &model));
-        var_orf6.push(per_strand_oracle(w, base, &model6));
+    let idx: Vec<usize> = (0..ctx.workloads().len()).collect();
+    let rows: Vec<[f64; 10]> = par_map(&idx, |&i| {
+        let base = ctx.baseline(i);
 
         // Backward-branch variants of the HW cache.
-        let keep = hw_counts(w, &RfcConfig::two_level(6));
-        hw_keep.push(normalized_energy(&keep, base, &model, 6));
-        let flush = hw_counts(
-            w,
+        let keep = ctx.hw_counts(i, &RfcConfig::two_level(6));
+        let flush = ctx.hw_counts(
+            i,
             &RfcConfig {
                 flush_on_backward_branch: true,
                 ..RfcConfig::two_level(6)
             },
         );
-        hw_flush.push(normalized_energy(&flush, base, &model, 6));
-
-        // Scheduling bounds.
-        s8.push(charged_at_3(w, base, &model, 8));
-        s5.push(charged_at_3(w, base, &model, 5));
         let nf_cfg = AllocConfig {
             ideal_no_deschedule_split: true,
             ..AllocConfig::three_level(3, true)
         };
-        nf.push(normalized_energy(
-            &sw_counts(w, &nf_cfg, &model),
-            base,
-            &model,
-            3,
-        ));
-    }
-
+        [
+            ctx.sw_normalized(i, &AllocConfig::three_level(3, true)),
+            ideal_counts_energy(&base, model, true),
+            ideal_counts_energy(&base, model, false),
+            // Per-strand oracle ORF sizing (§7), with the 8-active-warp
+            // and 6-active-warp energy tables.
+            per_strand_oracle(ctx, i, &base, model),
+            per_strand_oracle(ctx, i, &base, &model6),
+            normalized_energy(&flush, &base, model, 6),
+            normalized_energy(&keep, &base, model, 6),
+            // Scheduling bounds.
+            charged_at_3(ctx, i, &base, 8),
+            charged_at_3(ctx, i, &base, 5),
+            normalized_energy(&ctx.sw_counts(i, &nf_cfg), &base, model, 3),
+        ]
+    });
+    let col = |c: usize| mean(&rows.iter().map(|r| r[c]).collect::<Vec<_>>());
     LimitStudy {
-        realistic: mean(&realistic),
-        ideal_all_lrf: mean(&all_lrf),
-        ideal_all_orf5: mean(&all_orf5),
-        variable_orf: mean(&var_orf),
-        variable_orf_6warps: mean(&var_orf6),
-        hw_flush_backedge: mean(&hw_flush),
-        hw_keep_backedge: mean(&hw_keep),
-        sched_8_at_3: mean(&s8),
-        sched_5_at_3: mean(&s5),
-        never_flush: mean(&nf),
+        realistic: col(0),
+        ideal_all_lrf: col(1),
+        ideal_all_orf5: col(2),
+        variable_orf: col(3),
+        variable_orf_6warps: col(4),
+        hw_flush_backedge: col(5),
+        hw_keep_backedge: col(6),
+        sched_8_at_3: col(7),
+        sched_5_at_3: col(8),
+        never_flush: col(9),
     }
 }
 
@@ -228,7 +226,7 @@ pub fn print(l: &LimitStudy) -> String {
 mod tests {
     use super::*;
 
-    fn subset() -> Vec<Workload> {
+    fn subset() -> Vec<rfh_workloads::Workload> {
         ["vectoradd", "scalarprod", "mandelbrot", "backprop"]
             .iter()
             .map(|n| rfh_workloads::by_name(n).unwrap())
@@ -237,7 +235,8 @@ mod tests {
 
     #[test]
     fn bounds_order_correctly() {
-        let l = run(&subset());
+        let ws = subset();
+        let l = run(&ExperimentCtx::new(&ws));
         // The all-LRF bound is the floor; all-ORF(5) sits between it and
         // the realistic design; idealizations beat the realistic design.
         assert!(l.ideal_all_lrf < l.ideal_all_orf5);

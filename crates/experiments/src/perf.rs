@@ -8,8 +8,9 @@
 use rfh_sim::exec::{execute_with, ExecMode};
 use rfh_sim::machine::MachineConfig;
 use rfh_sim::timing::{simulate_timing, TimingConfig, TraceCapture};
-use rfh_workloads::Workload;
+use rfh_testkit::pool::par_map;
 
+use crate::ctx::ExperimentCtx;
 use crate::report::{norm, Table};
 use crate::runner::mean;
 
@@ -23,56 +24,52 @@ pub struct PerfPoint {
     pub normalized_runtime: f64,
 }
 
-/// Runs the scheduler sweep.
+/// Runs the scheduler sweep. Trace capture fans out per workload and the
+/// timing replays fan out per (active-size × workload) cell over the
+/// `RFH_JOBS` pool.
 ///
 /// # Panics
 ///
 /// Panics if any workload fails to execute.
-pub fn run(workloads: &[Workload], active_sizes: &[usize]) -> Vec<PerfPoint> {
+pub fn run(ctx: &ExperimentCtx, active_sizes: &[usize]) -> Vec<PerfPoint> {
     let machine = MachineConfig::paper();
-    let captures: Vec<TraceCapture> = workloads
-        .iter()
-        .map(|w| {
-            let mut cap = TraceCapture::new(machine.clone(), w.launch.threads_per_cta);
-            let mut mem = w.memory.clone();
-            execute_with(
-                &w.kernel,
-                &w.launch,
-                &mut mem,
-                ExecMode::Baseline,
-                &machine,
-                &mut [&mut cap],
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            cap
-        })
-        .collect();
-    let baselines: Vec<u64> = captures
-        .iter()
-        .map(|c| {
-            simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::single_level())
-                .expect("captured trace replays within budget")
-                .cycles
-        })
-        .collect();
+    let captures: Vec<TraceCapture> = par_map(ctx.workloads(), |w| {
+        let mut cap = TraceCapture::new(machine.clone(), w.launch.threads_per_cta);
+        let mut mem = w.memory.clone();
+        execute_with(
+            &w.kernel,
+            &w.launch,
+            &mut mem,
+            ExecMode::Baseline,
+            &machine,
+            &mut [&mut cap],
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        cap
+    });
+    let baselines: Vec<u64> = par_map(&captures, |c| {
+        simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::single_level())
+            .expect("captured trace replays within budget")
+            .cycles
+    });
 
+    let n = captures.len();
+    let cells: Vec<(usize, usize)> = active_sizes
+        .iter()
+        .flat_map(|&a| (0..n).map(move |i| (a, i)))
+        .collect();
+    let ratios: Vec<f64> = par_map(&cells, |&(a, i)| {
+        let c = &captures[i];
+        let t = simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::two_level(a))
+            .expect("captured trace replays within budget");
+        t.cycles as f64 / baselines[i] as f64
+    });
     active_sizes
         .iter()
-        .map(|&a| {
-            let ratios: Vec<f64> = captures
-                .iter()
-                .zip(&baselines)
-                .map(|(c, b)| {
-                    let t =
-                        simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::two_level(a))
-                            .expect("captured trace replays within budget");
-                    t.cycles as f64 / *b as f64
-                })
-                .collect();
-            PerfPoint {
-                active_warps: a,
-                normalized_runtime: mean(&ratios),
-            }
+        .zip(ratios.chunks(n.max(1)))
+        .map(|(&a, per_size)| PerfPoint {
+            active_warps: a,
+            normalized_runtime: mean(per_size),
         })
         .collect()
 }
@@ -95,11 +92,12 @@ mod tests {
 
     #[test]
     fn eight_active_warps_lose_no_performance() {
-        let workloads: Vec<Workload> = ["scalarprod", "matrixmul", "mandelbrot", "cp"]
-            .iter()
-            .map(|n| rfh_workloads::by_name(n).unwrap())
-            .collect();
-        let points = run(&workloads, &[2, 8]);
+        let workloads: Vec<rfh_workloads::Workload> =
+            ["scalarprod", "matrixmul", "mandelbrot", "cp"]
+                .iter()
+                .map(|n| rfh_workloads::by_name(n).unwrap())
+                .collect();
+        let points = run(&ExperimentCtx::new(&workloads), &[2, 8]);
         let at8 = points.iter().find(|p| p.active_warps == 8).unwrap();
         assert!(
             at8.normalized_runtime < 1.03,

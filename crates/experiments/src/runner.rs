@@ -55,13 +55,21 @@ pub fn hw_counts(w: &Workload, cfg: &RfcConfig) -> AccessCounts {
 }
 
 /// Per-benchmark normalized energy: `energy(scheme) / energy(baseline)`.
+///
+/// # Panics
+///
+/// Panics if `orf_entries` is outside the energy model's ORF table
+/// (1–8 for the paper's Table 3). This surfaces
+/// [`EnergyModel::orf_access`]'s contract instead of silently clamping
+/// an out-of-range configuration onto the nearest table row, which would
+/// misprice it without any indication.
 pub fn normalized_energy(
     counts: &AccessCounts,
     base: &AccessCounts,
     model: &EnergyModel,
     orf_entries: usize,
 ) -> f64 {
-    let e = model.energy(counts, orf_entries.clamp(1, 8)).total();
+    let e = model.energy(counts, orf_entries).total();
     let b = model
         .baseline_energy(base.total_reads(), base.total_writes())
         .total();
@@ -122,6 +130,24 @@ mod tests {
         let sw = sw_counts(&w, &AllocConfig::three_level(3, true), &model);
         let n = normalized_energy(&sw, &base, &model, 3);
         assert!(n < 1.0 && n > 0.1, "normalized = {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ORF size out of range")]
+    fn normalized_energy_rejects_oversized_orf() {
+        // Regression: this used to clamp 9 down to 8 and silently price
+        // the configuration with the wrong Table 3 row.
+        let model = EnergyModel::paper();
+        let base = baseline_counts(&small());
+        normalized_energy(&base, &base, &model, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ORF size out of range")]
+    fn normalized_energy_rejects_zero_entries() {
+        let model = EnergyModel::paper();
+        let base = baseline_counts(&small());
+        normalized_energy(&base, &base, &model, 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::path::PathBuf;
 
-use rfh_experiments::{csv, fig11, fig12, fig2};
+use rfh_experiments::{csv, fig11, fig12, fig2, ExperimentCtx};
 
 fn golden(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -68,11 +68,13 @@ fn fig2_usage_patterns_match_golden() {
 #[test]
 fn fig11_two_level_breakdown_matches_golden() {
     let ws = rfh_workloads::all();
-    assert_csv_matches("fig11.csv", &csv::fig11_csv(&fig11::run(&ws)));
+    let ctx = ExperimentCtx::new(&ws);
+    assert_csv_matches("fig11.csv", &csv::fig11_csv(&fig11::run(&ctx)));
 }
 
 #[test]
 fn fig12_three_level_breakdown_matches_golden() {
     let ws = rfh_workloads::all();
-    assert_csv_matches("fig12.csv", &csv::fig12_csv(&fig12::run(&ws)));
+    let ctx = ExperimentCtx::new(&ws);
+    assert_csv_matches("fig12.csv", &csv::fig12_csv(&fig12::run(&ctx)));
 }

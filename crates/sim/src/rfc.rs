@@ -21,7 +21,7 @@ use rfh_isa::Unit;
 use crate::sink::{InstrEvent, TraceSink};
 
 /// Configuration of the hardware-managed hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RfcConfig {
     /// RFC entries per thread (the paper sweeps 1–8; prior work used 6).
     pub entries_per_thread: usize,

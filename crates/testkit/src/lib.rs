@@ -17,11 +17,16 @@
 //!   fixed-seed reproduction via `RFH_TESTKIT_SEED`;
 //! * [`bench`] — a wall-clock micro-benchmark harness mirroring the
 //!   `criterion` API the benches use, with JSON output for baseline
-//!   tracking.
+//!   tracking;
+//! * [`pool`] — a scoped thread pool ([`pool::par_map`]) used by the
+//!   experiment engine and the chaos harness to fan sweeps out across
+//!   cores (`RFH_JOBS` knob) while keeping results in input order, so
+//!   parallel runs stay byte-identical to serial ones.
 //!
 //! See `docs/TESTING.md` at the repository root for the workflow guide.
 
 pub mod bench;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod shrink;

@@ -1,0 +1,154 @@
+//! A dependency-free scoped thread pool: [`par_map`] fans a slice out
+//! over `std::thread::scope` workers and returns the results **in input
+//! order**, so a parallel sweep folds to bit-identical output regardless
+//! of worker count.
+//!
+//! Concurrency is controlled by the `RFH_JOBS` environment variable
+//! (default: the machine's available parallelism; `RFH_JOBS=1` forces the
+//! fully serial path). Workers pull items off a shared atomic cursor, so
+//! uneven item costs balance automatically.
+//!
+//! Panic safety: a panicking closure can neither hang nor deadlock the
+//! pool. Every item is wrapped in `catch_unwind`; after all workers have
+//! joined, the payload of the first panicking item **in input order** is
+//! re-raised on the calling thread (so `par_map` is drop-in for a serial
+//! `.map()` even under failure, and a test can observe the panic with its
+//! own `catch_unwind`).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `RFH_JOBS` if set to a positive integer, else the
+/// machine's available parallelism, else 1.
+pub fn jobs() -> usize {
+    std::env::var("RFH_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item, in parallel across [`jobs`] scoped worker
+/// threads, returning the results in input order.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic payload of the first such item
+/// (in input order) is re-raised here after all workers finish — never a
+/// hang, never a silently dropped result.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, std::thread::Result<U>)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, std::thread::Result<U>)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                    let panicked = result.is_err();
+                    local.push((i, result));
+                    if panicked {
+                        // Stop pulling new work; the other workers drain
+                        // the remaining items and the panic is re-raised
+                        // after the scope joins.
+                        break;
+                    }
+                }
+                collected
+                    .lock()
+                    .expect("pool results mutex (worker panics are caught before locking)")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut slots: Vec<Option<std::thread::Result<U>>> = (0..n).map(|_| None).collect();
+    for (i, r) in collected
+        .into_inner()
+        .expect("pool results mutex (worker panics are caught before locking)")
+    {
+        slots[i] = Some(r);
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.expect("every index is claimed exactly once") {
+            Ok(v) => out.push(v),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        // Uneven per-item cost exercises the work-stealing cursor.
+        let out = par_map(&items, |&i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i * 2
+        });
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_serially() {
+        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |&i| {
+                if i == 13 || i == 40 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("the panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        // First panicking item in input order wins, deterministically.
+        assert_eq!(msg, "boom at 13");
+    }
+
+    #[test]
+    fn jobs_is_at_least_one() {
+        assert!(jobs() >= 1);
+    }
+}

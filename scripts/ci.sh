@@ -14,13 +14,30 @@ echo "==> cargo clippy (-D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release --offline
+# --workspace is load-bearing: a bare root build does not relink member
+# binaries (e.g. `repro`), and the smoke below must run the fresh one.
+cargo build --release --offline --workspace
 
 echo "==> cargo test"
 cargo test -q --offline
 
 echo "==> chaos smoke (bounded fault-injection run)"
 RFH_CHAOS_CASES=200 cargo test -p rfh-chaos -q --offline
+
+echo "==> repro smoke (parallel run must reproduce the committed goldens)"
+# Regenerate the golden CSVs with two pool workers and diff byte-for-byte
+# against results/*.csv: parallelism and memoization must not change a
+# single byte of any figure.
+artifacts=target/ci-artifacts
+rm -rf "$artifacts"
+mkdir -p "$artifacts/csv"
+RFH_JOBS=2 ./target/release/repro --csv "$artifacts/csv" \
+    --bench-json "$artifacts/BENCH_repro.json" all > "$artifacts/repro.txt"
+for f in results/*.csv; do
+    cmp "$f" "$artifacts/csv/$(basename "$f")"
+done
+echo "repro goldens byte-identical under RFH_JOBS=2"
+echo "bench timings: $artifacts/BENCH_repro.json"
 
 echo "==> panic gate (hardened crates)"
 # Non-test library code of the hardened crates must stay panic-free:
