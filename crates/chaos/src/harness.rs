@@ -75,19 +75,16 @@ enum CaseOutcome {
 }
 
 /// Per-layer case budget: `RFH_CHAOS_CASES` if set, else `default_cases`.
+/// A malformed value warns loudly (see `rfh_testkit::env`) and falls back.
 pub fn cases_from_env(default_cases: usize) -> usize {
-    std::env::var("RFH_CHAOS_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default_cases)
+    rfh_testkit::env::usize_knob("RFH_CHAOS_CASES").unwrap_or(default_cases)
 }
 
-/// Base seed: `RFH_TESTKIT_SEED` if set, else `default_seed`.
+/// Base seed: `RFH_TESTKIT_SEED` if set, else `default_seed`. Accepts the
+/// `0x…` hex form that failure reports print, so seeds paste back in
+/// verbatim.
 pub fn seed_from_env(default_seed: u64) -> u64 {
-    std::env::var("RFH_TESTKIT_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default_seed)
+    rfh_testkit::env::u64_knob("RFH_TESTKIT_SEED").unwrap_or(default_seed)
 }
 
 /// Derives the per-case seed stream: every case's seed is a deterministic
@@ -250,6 +247,50 @@ pub fn run_ir_layer(
         }))
     });
     fold_cases(&seeds, outcomes, "IR")
+}
+
+/// Fuzzes the static analyzer (`rfh-lint`) with structural IR corruptions
+/// and proves its **soundness** one-directionally: every mutant that lint
+/// does *not* flag with an error must execute and validate cleanly (the
+/// same differential contract as [`run_ir_layer`]). Mutants flagged by
+/// lint count as **flagged**; since the executor zero-initializes
+/// registers, lint is deliberately stricter than execution, so flagged
+/// mutants that would also have executed cleanly are not violations.
+///
+/// # Errors
+///
+/// Returns a replayable description of the first soundness violation: a
+/// panic, or a lint-clean validated mutant whose baseline and hierarchy
+/// executions disagree.
+pub fn run_lint_layer(
+    w: &Workload,
+    cfg: &AllocConfig,
+    cases: usize,
+    base_seed: u64,
+) -> Result<ChaosReport, String> {
+    let options = rfh_lint::LintOptions { alloc: *cfg };
+    let seeds = case_seeds(base_seed, cases);
+    let outcomes = par_map(&seeds, |&seed| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut mutant = w.kernel.clone();
+            ir::mutate_kernel(&mut mutant, &mut rng);
+            if mutant == w.kernel {
+                return Ok(CaseOutcome::Unchanged);
+            }
+            match rfh_isa::validate(&mutant) {
+                Err(_) => Ok(CaseOutcome::Rejected),
+                Ok(()) => {
+                    let diags = rfh_lint::lint_kernel(&mutant, &options);
+                    if rfh_lint::has_errors(&diags) {
+                        return Ok(CaseOutcome::Flagged);
+                    }
+                    differential(&mutant, cfg, w)
+                }
+            }
+        }))
+    });
+    fold_cases(&seeds, outcomes, "lint")
 }
 
 /// Fuzzes the placement validator with corrupted placements on a

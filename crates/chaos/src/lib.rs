@@ -2,8 +2,9 @@
 
 //! # rfh-chaos — fault injection for the RFH pipeline
 //!
-//! Seeded mutators that corrupt kernels at three layers of the toolchain,
-//! plus a driver asserting the robustness contract at each layer:
+//! Seeded mutators that corrupt kernels at several layers of the
+//! toolchain, plus a driver asserting the robustness contract at each
+//! layer:
 //!
 //! * [`byte`] — raw assembly-text corruption (truncation, garbage bytes
 //!   including non-UTF-8, bit flips, token splices) fed to the parser;
@@ -23,6 +24,11 @@
 //! (validator unsoundness) or a validated mutant whose baseline and
 //! hierarchy executions disagree.
 //!
+//! A fourth layer ([`harness::run_lint_layer`]) turns the same IR mutants
+//! on the `rfh-lint` static analyzer and asserts its one-directional
+//! soundness: every mutant lint does **not** flag with an error must
+//! execute and validate cleanly under the differential contract.
+//!
 //! Every case derives its RNG seed from a base seed via SplitMix64, so a
 //! failure report pinpoints one replayable case. Set `RFH_TESTKIT_SEED`
 //! to override the base seed and `RFH_CHAOS_CASES` to scale the case
@@ -35,5 +41,6 @@ pub mod ir;
 pub mod place;
 
 pub use harness::{
-    cases_from_env, run_byte_layer, run_ir_layer, run_place_layer, seed_from_env, ChaosReport,
+    cases_from_env, run_byte_layer, run_ir_layer, run_lint_layer, run_place_layer, seed_from_env,
+    ChaosReport,
 };

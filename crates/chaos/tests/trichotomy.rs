@@ -9,7 +9,9 @@
 //! value); `RFH_TESTKIT_SEED` replays a specific run.
 
 use rfh_alloc::AllocConfig;
-use rfh_chaos::{cases_from_env, run_byte_layer, run_ir_layer, run_place_layer, seed_from_env};
+use rfh_chaos::{
+    cases_from_env, run_byte_layer, run_ir_layer, run_lint_layer, run_place_layer, seed_from_env,
+};
 use rfh_workloads::Workload;
 
 fn workload(name: &str) -> Workload {
@@ -94,6 +96,43 @@ fn placement_layer_holds_under_a_two_level_config_with_loops() {
         seed_from_env(0x97AC_0004),
     )
     .expect("placement validator failed on the two-level config");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(report.flagged > 0, "{report}");
+}
+
+#[test]
+fn lint_layer_soundness_holds() {
+    let cases = cases_from_env(1000);
+    let report = run_lint_layer(
+        &workload("vectoradd"),
+        &cfg(),
+        cases,
+        seed_from_env(0x117_0005),
+    )
+    .expect("lint soundness violated: an unflagged mutant misbehaved");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(
+        report.flagged > 0,
+        "IR damage should often be lint-visible: {report}"
+    );
+    assert!(
+        report.identical > 0,
+        "benign mutants should stay lint-clean and run identically: {report}"
+    );
+}
+
+#[test]
+fn lint_layer_soundness_holds_on_a_barrier_kernel() {
+    // The only barrier-using workload: exercises the divergence and race
+    // checks against mutants that perturb guards and control flow.
+    let cases = cases_from_env(1000).min(500);
+    let report = run_lint_layer(
+        &workload("reduction"),
+        &cfg(),
+        cases,
+        seed_from_env(0x117_0006),
+    )
+    .expect("lint soundness violated on the barrier kernel");
     assert_eq!(report.cases, cases, "{report}");
     assert!(report.flagged > 0, "{report}");
 }

@@ -8,41 +8,9 @@
 use rfh_isa::{parse_kernel, IsaError};
 use rfh_testkit::prelude::*;
 
-const CORPUS: &[&str] = &[
-    // A straight-line kernel.
-    "
-.kernel axpy
-BB0:
-  mov r0, %tid.x
-  ld.param r1 0
-  iadd r2 r1, r0
-  ld.global r3 r2
-  ffma r4 r3, 2.5f, r3
-  st.global r2, r4
-  exit
-",
-    // Branches, predicates, wide loads, strand-end markers.
-    "
-.kernel loopy
-BB0:
-  mov r7, 0
-BB1:
-  ld.shared r4.w64 r7
-  fmul r8 r5, r5 !
-  fadd r5 r8, 1.0f
-  iadd r7 r7, 1
-  setp.lt p0 r7, 4
-  @p0 bra BB1
-BB2:
-  st.global r0, r5
-  exit
-",
-    // Degenerate inputs.
-    "",
-    "\n\n\n",
-    ".kernel x\n",
-    "BB0:\n  exit\n",
-];
+/// The corpus lives in `rfh_testkit::corpus` so the lint golden report
+/// covers exactly the same shapes this fuzzer mutates.
+const CORPUS: &[&str] = rfh_testkit::corpus::KERNELS;
 
 fn mutate(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
     if bytes.is_empty() {
@@ -85,10 +53,7 @@ fn mutate(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
 
 #[test]
 fn parser_never_panics_on_mutated_corpus() {
-    let base_seed: u64 = std::env::var("RFH_TESTKIT_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0x15A_F022);
+    let base_seed: u64 = rfh_testkit::env::u64_knob("RFH_TESTKIT_SEED").unwrap_or(0x15A_F022);
     let mut seeder = SplitMix64::new(base_seed);
     let mut rejected = 0usize;
     let mut accepted = 0usize;

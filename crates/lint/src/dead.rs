@@ -1,0 +1,45 @@
+//! RFH-L002 (unreachable blocks) and RFH-L003 (dead definitions).
+//!
+//! Unreachable blocks come straight from the dominator tree (a block
+//! without an idom chain to the entry was never reached by the DFS). Dead
+//! definitions are instructions that write a general-purpose destination
+//! no subsequent instruction can read, per the block-level liveness
+//! analysis — the same analysis whose `dead_after` bits the hardware RFC
+//! uses to elide writebacks, so a dead *definition* is one whose entire
+//! result is elided.
+
+use rfh_analysis::{DomTree, Liveness};
+use rfh_isa::Kernel;
+
+use crate::diag::{Code, Diagnostic};
+
+/// Runs both checks, appending findings to `diags`.
+pub(crate) fn check(kernel: &Kernel, dom: &DomTree, diags: &mut Vec<Diagnostic>) {
+    for block in &kernel.blocks {
+        if !dom.is_reachable(block.id) {
+            diags.push(Diagnostic::at_block(
+                Code::UnreachableBlock,
+                block.id,
+                format!("{} is unreachable from the kernel entry", block.id),
+            ));
+        }
+    }
+
+    let liveness = Liveness::compute(kernel);
+    for (at, instr) in kernel.iter_instrs() {
+        if !dom.is_reachable(at.block) {
+            continue; // dead because unreachable: RFH-L002 already says so
+        }
+        let Some(dst) = instr.dst else {
+            continue;
+        };
+        let live = liveness.live_after(kernel, at);
+        if dst.regs().all(|r| !live.contains(r)) {
+            diags.push(Diagnostic::at(
+                Code::DeadDef,
+                at,
+                format!("definition of {} is never read (`{instr}`)", dst.reg),
+            ));
+        }
+    }
+}

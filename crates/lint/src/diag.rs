@@ -1,0 +1,156 @@
+//! The diagnostic model: stable codes, severities, and spans.
+
+use std::fmt;
+
+use rfh_isa::{BlockId, InstrRef};
+
+/// How bad a finding is.
+///
+/// Errors are soundness-relevant: the kernel may compute wrong results,
+/// deadlock, or carry inconsistent placement annotations. Warnings are
+/// conservative or advisory: the analysis cannot prove the construct safe
+/// (races, pressure) or the code is merely wasteful (dead defs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory or conservative finding; `rfhc lint` still exits 0.
+    Warning,
+    /// Definite defect; `rfhc lint` exits with the lint error code.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as rendered in human and JSON output.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable diagnostic codes. Each code belongs to exactly one check and
+/// keeps its meaning across releases; `docs/LINTS.md` documents every code
+/// with a triggering example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// RFH-L001 — a register may be read before any definition reaches the
+    /// read on some CFG path (predication-aware).
+    UseBeforeDef,
+    /// RFH-L002 — a basic block is unreachable from the kernel entry.
+    UnreachableBlock,
+    /// RFH-L003 — a definition whose result is never read.
+    DeadDef,
+    /// RFH-L004 — a barrier may execute under divergent control flow.
+    BarrierDivergence,
+    /// RFH-L005 — two shared-memory accesses may race between threads with
+    /// no intervening barrier (conservative, thread-index-offset based).
+    SharedRace,
+    /// RFH-L006 — an LRF placement annotation violates the LRF contract
+    /// (shared-datapath access, bank/slot mismatch, width, configuration).
+    LrfMisuse,
+    /// RFH-L007 — an ORF/MRF placement annotation is inconsistent: entry
+    /// out of range or holding a different value than annotated, an
+    /// upper-level write without a destination, or a stale MRF read.
+    OrfConflict,
+    /// RFH-L008 — a strand's candidate-value demand exceeds the configured
+    /// ORF/LRF capacity; the allocator will keep values in the MRF.
+    Pressure,
+}
+
+impl Code {
+    /// The stable code string, e.g. `RFH-L001`.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Code::UseBeforeDef => "RFH-L001",
+            Code::UnreachableBlock => "RFH-L002",
+            Code::DeadDef => "RFH-L003",
+            Code::BarrierDivergence => "RFH-L004",
+            Code::SharedRace => "RFH-L005",
+            Code::LrfMisuse => "RFH-L006",
+            Code::OrfConflict => "RFH-L007",
+            Code::Pressure => "RFH-L008",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub const fn severity(self) -> Severity {
+        match self {
+            Code::UseBeforeDef | Code::BarrierDivergence | Code::LrfMisuse | Code::OrfConflict => {
+                Severity::Error
+            }
+            Code::UnreachableBlock | Code::DeadDef | Code::SharedRace | Code::Pressure => {
+                Severity::Warning
+            }
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a code, a span (block, optionally an instruction index
+/// within it), and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable diagnostic code (which fixes the severity).
+    pub code: Code,
+    /// The block the finding is anchored to.
+    pub block: BlockId,
+    /// The instruction index within `block`, or `None` for block-level
+    /// findings (e.g. an unreachable block).
+    pub instr: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A finding anchored to one instruction.
+    pub fn at(code: Code, at: InstrRef, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            block: at.block,
+            instr: Some(at.index),
+            message: message.into(),
+        }
+    }
+
+    /// A block-level finding.
+    pub fn at_block(code: Code, block: BlockId, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            block,
+            instr: None,
+            message: message.into(),
+        }
+    }
+
+    /// The fixed severity of this finding's code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Deterministic ordering key: program order first (block, then
+    /// block-level findings before instruction findings), then code.
+    pub(crate) fn sort_key(&self) -> (u32, usize, Code, String) {
+        (
+            self.block.index() as u32,
+            self.instr.map_or(0, |i| i + 1),
+            self.code,
+            self.message.clone(),
+        )
+    }
+}
+
+/// Whether any finding in `diags` is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity() == Severity::Error)
+}

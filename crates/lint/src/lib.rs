@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+
+//! # rfh-lint — dataflow-driven static analyzer for RFH kernels
+//!
+//! A multi-pass linter over `rfh-isa` kernels, driven by the dataflow
+//! infrastructure in `rfh-analysis` (CFG, dominators, liveness, def-use,
+//! strands). Each finding carries a stable code (`RFH-L0xx`), a fixed
+//! severity, and a block/instruction span:
+//!
+//! | code | severity | check |
+//! |------|----------|-------|
+//! | RFH-L001 | error | may-use-before-def on some CFG path (predication-aware) |
+//! | RFH-L002 | warning | unreachable basic block |
+//! | RFH-L003 | warning | definition whose result is never read |
+//! | RFH-L004 | error | barrier reachable under divergent control flow |
+//! | RFH-L005 | warning | statically detectable shared-memory race |
+//! | RFH-L006 | error | LRF placement contract violation |
+//! | RFH-L007 | error | ORF/MRF placement inconsistency (incl. stale MRF reads) |
+//! | RFH-L008 | warning | upper-level pressure predicting MRF spills |
+//!
+//! `docs/LINTS.md` documents every code with a triggering example. The
+//! entry point is [`lint_kernel`]; `rfhc lint` wires it to the command
+//! line, and the chaos harness (`rfh-chaos`) uses it as the flagging
+//! oracle of its differential soundness layer: every IR-mutated kernel
+//! must either be flagged with an error here or execute and validate
+//! cleanly.
+//!
+//! Linting never mutates the kernel and never panics on a kernel that
+//! passed [`rfh_isa::validate`].
+
+use rfh_analysis::DomTree;
+use rfh_isa::Kernel;
+
+mod barrier;
+mod dead;
+pub mod diag;
+mod place;
+mod pressure;
+mod race;
+pub mod render;
+mod undef;
+
+pub use diag::{has_errors, Code, Diagnostic, Severity};
+pub use render::{human_line, json_line};
+
+use rfh_alloc::AllocConfig;
+
+/// Options controlling a lint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintOptions {
+    /// The hierarchy shape placement annotations are checked against
+    /// (RFH-L006/RFH-L007) and pressure is measured against (RFH-L008).
+    /// Must match the configuration the kernel was allocated with;
+    /// unallocated kernels (all-MRF annotations) pass the placement checks
+    /// under any configuration.
+    pub alloc: AllocConfig,
+}
+
+impl Default for LintOptions {
+    /// The paper's most efficient configuration (3 ORF entries, split
+    /// LRF), matching [`AllocConfig::default`].
+    fn default() -> Self {
+        LintOptions {
+            alloc: AllocConfig::default(),
+        }
+    }
+}
+
+/// Lints a kernel, returning all findings sorted by program order (block,
+/// then instruction, then code).
+///
+/// The kernel must have passed [`rfh_isa::validate`]; structural
+/// invariants (terminator placement, branch targets, operand counts) are
+/// the validator's business, and the analyses here assume them.
+pub fn lint_kernel(kernel: &Kernel, options: &LintOptions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let dom = DomTree::dominators(kernel);
+    undef::check(kernel, &dom, &mut diags);
+    dead::check(kernel, &dom, &mut diags);
+    barrier::check(kernel, &dom, &mut diags);
+    race::check(kernel, &dom, &mut diags);
+    place::check(kernel, &options.alloc, &mut diags);
+    pressure::check(kernel, &options.alloc, &mut diags);
+    diags.sort_by_key(|a| a.sort_key());
+    diags.dedup();
+    diags
+}

@@ -1,0 +1,423 @@
+//! RFH-L006 / RFH-L007 — strand/placement consistency for allocated
+//! kernels: the *static* counterpart of `rfh_alloc::validate_placements`.
+//!
+//! The dynamic replay validator stops at the first inconsistency; this
+//! check walks the same per-strand symbolic state (ORF entries and LRF
+//! banks as `Option<Reg>`, met by intersection across paths) but recovers
+//! after each finding and keeps going, attributing every violation to its
+//! instruction:
+//!
+//! * RFH-L006 — LRF contract violations: shared-datapath reads/writes,
+//!   bank/slot mismatches under the split LRF, 64-bit values, accesses
+//!   with no LRF configured, and a bank holding a different value;
+//! * RFH-L007 — ORF/MRF consistency: entries out of range or holding a
+//!   different register than annotated, upper-level writes with no
+//!   destination, and MRF reads that may observe a stale copy (a path
+//!   whose latest definition skipped the MRF write).
+//!
+//! Strand boundaries come from the `ends_strand` bits already on the
+//! instructions; an unallocated kernel (all placements MRF) passes
+//! trivially.
+
+use std::collections::HashMap;
+
+use rfh_alloc::{AllocConfig, LrfMode};
+use rfh_analysis::RegSet;
+use rfh_isa::{InstrRef, Kernel, ReadLoc, Reg, Width, WriteLoc};
+
+use crate::diag::{Code, Diagnostic};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    orf: Vec<Option<Reg>>,
+    lrf: Vec<Option<Reg>>,
+}
+
+impl State {
+    fn empty(config: &AllocConfig) -> State {
+        let banks = match config.lrf {
+            LrfMode::None => 0,
+            LrfMode::Unified => 1,
+            LrfMode::Split => 3,
+        };
+        State {
+            orf: vec![None; config.orf_entries],
+            lrf: vec![None; banks],
+        }
+    }
+
+    fn meet(&mut self, other: &State) {
+        for (a, b) in self.orf.iter_mut().zip(&other.orf) {
+            if *a != *b {
+                *a = None;
+            }
+        }
+        for (a, b) in self.lrf.iter_mut().zip(&other.lrf) {
+            if *a != *b {
+                *a = None;
+            }
+        }
+    }
+}
+
+/// Splits the kernel into strands on the existing `ends_strand` bits.
+fn segments(kernel: &Kernel) -> Vec<Vec<InstrRef>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for (at, i) in kernel.iter_instrs() {
+        cur.push(at);
+        if i.ends_strand {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// MRF freshness: flags every MRF read that may observe a register whose
+/// latest definition on some path skipped the MRF write.
+fn check_mrf_freshness(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    let n = kernel.blocks.len();
+    let num_regs = kernel.num_regs();
+    let mut stale_in = vec![RegSet::new(num_regs); n];
+    let preds = kernel.predecessors();
+
+    let transfer =
+        |stale: &mut RegSet, b: &rfh_isa::BasicBlock, diags: Option<&mut Vec<Diagnostic>>| {
+            let mut diags = diags;
+            for (idx, i) in b.instrs.iter().enumerate() {
+                if let Some(out) = diags.as_deref_mut() {
+                    for (slot, src) in i.srcs.iter().enumerate() {
+                        if let Some(reg) = src.as_reg() {
+                            let mrf_read =
+                                matches!(i.read_locs[slot], ReadLoc::Mrf | ReadLoc::MrfFillOrf(_));
+                            if mrf_read && stale.contains(reg) {
+                                out.push(Diagnostic::at(
+                                    Code::OrfConflict,
+                                    InstrRef {
+                                        block: b.id,
+                                        index: idx,
+                                    },
+                                    format!(
+                                        "MRF read of {reg} may observe a stale copy — an earlier \
+                                     definition skipped the MRF write (`{i}`)"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                if let Some(dst) = i.dst {
+                    let writes_mrf = i.write_loc.writes_mrf();
+                    for r in dst.regs() {
+                        if writes_mrf {
+                            if i.guard.is_none() {
+                                stale.remove(r);
+                            }
+                        } else {
+                            stale.insert(r);
+                        }
+                    }
+                }
+            }
+        };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in &kernel.blocks {
+            let mut inn = RegSet::new(num_regs);
+            for p in &preds[b.id.index()] {
+                let mut out = stale_in[p.index()].clone();
+                transfer(&mut out, kernel.block(*p), None);
+                inn.union_with(&out);
+            }
+            if inn != stale_in[b.id.index()] {
+                stale_in[b.id.index()] = inn;
+                changed = true;
+            }
+        }
+    }
+    for b in &kernel.blocks {
+        let mut stale = stale_in[b.id.index()].clone();
+        transfer(&mut stale, b, Some(diags));
+    }
+}
+
+/// Runs the check, appending RFH-L006/RFH-L007 findings to `diags`.
+pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagnostic>) {
+    check_mrf_freshness(kernel, diags);
+    let preds = kernel.predecessors();
+    for strand in segments(kernel) {
+        let pos_of: HashMap<InstrRef, usize> =
+            strand.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+        let mut out_states: Vec<State> = Vec::with_capacity(strand.len());
+
+        for (pos, at) in strand.iter().enumerate() {
+            let instr = kernel.instr(*at);
+
+            // ---- in-state ----
+            let mut state: Option<State> = None;
+            let meet_in = |state: &mut Option<State>, s: &State| match state {
+                None => *state = Some(s.clone()),
+                Some(cur) => cur.meet(s),
+            };
+            let mut external = false;
+            if at.index > 0 {
+                let prev = InstrRef {
+                    block: at.block,
+                    index: at.index - 1,
+                };
+                match pos_of.get(&prev) {
+                    Some(p) => meet_in(&mut state, &out_states[*p]),
+                    None => external = true,
+                }
+            } else {
+                for p in &preds[at.block.index()] {
+                    let pb = kernel.block(*p);
+                    let term = InstrRef {
+                        block: *p,
+                        index: pb.instrs.len() - 1,
+                    };
+                    match pos_of.get(&term) {
+                        // Later positions are the strand's own closing
+                        // backedge: inter-strand, upper levels invalid.
+                        Some(t) if *t < pos => meet_in(&mut state, &out_states[*t]),
+                        _ => external = true,
+                    }
+                }
+            }
+            let mut state = match (state, external) {
+                (Some(s), false) => s,
+                (Some(mut s), true) => {
+                    s.meet(&State::empty(config));
+                    s
+                }
+                (None, _) => State::empty(config),
+            };
+
+            // ---- reads ----
+            let mut fills: Vec<(usize, Reg)> = Vec::new();
+            for (i, src) in instr.srcs.iter().enumerate() {
+                let Some(reg) = src.as_reg() else {
+                    continue;
+                };
+                match instr.read_locs[i] {
+                    ReadLoc::Mrf => {}
+                    ReadLoc::MrfFillOrf(e) => {
+                        let e = e as usize;
+                        if e >= config.orf_entries {
+                            diags.push(Diagnostic::at(
+                                Code::OrfConflict,
+                                *at,
+                                format!("fill entry ORF{e} out of range (`{instr}`)"),
+                            ));
+                        } else {
+                            fills.push((e, reg));
+                        }
+                    }
+                    ReadLoc::Orf(e) => {
+                        let e = e as usize;
+                        if e >= config.orf_entries {
+                            diags.push(Diagnostic::at(
+                                Code::OrfConflict,
+                                *at,
+                                format!("read entry ORF{e} out of range (`{instr}`)"),
+                            ));
+                        } else if state.orf[e] != Some(reg) {
+                            diags.push(Diagnostic::at(
+                                Code::OrfConflict,
+                                *at,
+                                format!(
+                                    "ORF{e} holds {} but the read expects {reg} (`{instr}`)",
+                                    describe(state.orf[e])
+                                ),
+                            ));
+                        }
+                    }
+                    ReadLoc::Lrf(bank) => {
+                        if !config.lrf.enabled() {
+                            diags.push(Diagnostic::at(
+                                Code::LrfMisuse,
+                                *at,
+                                format!("LRF read but no LRF configured (`{instr}`)"),
+                            ));
+                            continue;
+                        }
+                        if instr.op.unit().is_shared() {
+                            diags.push(Diagnostic::at(
+                                Code::LrfMisuse,
+                                *at,
+                                format!("the shared datapath cannot read the LRF (`{instr}`)"),
+                            ));
+                            continue;
+                        }
+                        let b = match (config.lrf, bank) {
+                            (LrfMode::Unified, None) => 0,
+                            (LrfMode::Split, Some(s)) => {
+                                if s.index() != i {
+                                    diags.push(Diagnostic::at(
+                                        Code::LrfMisuse,
+                                        *at,
+                                        format!(
+                                            "split LRF read from bank {s} in operand slot {i} \
+                                             (`{instr}`)"
+                                        ),
+                                    ));
+                                    continue;
+                                }
+                                s.index()
+                            }
+                            _ => {
+                                diags.push(Diagnostic::at(
+                                    Code::LrfMisuse,
+                                    *at,
+                                    format!(
+                                        "LRF bank annotation does not match {} mode (`{instr}`)",
+                                        config.lrf
+                                    ),
+                                ));
+                                continue;
+                            }
+                        };
+                        if state.lrf[b] != Some(reg) {
+                            diags.push(Diagnostic::at(
+                                Code::LrfMisuse,
+                                *at,
+                                format!(
+                                    "LRF bank {b} holds {} but the read expects {reg} (`{instr}`)",
+                                    describe(state.lrf[b])
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            for (e, reg) in fills {
+                state.orf[e] = Some(reg);
+            }
+
+            // ---- defs ----
+            if let Some(dst) = instr.dst {
+                let target_orf: Option<(usize, usize)> = match instr.write_loc {
+                    WriteLoc::Orf { entry, .. } => {
+                        Some((entry as usize, dst.width.regs() as usize))
+                    }
+                    _ => None,
+                };
+                let target_lrf: Option<usize> = match (instr.write_loc, config.lrf) {
+                    (WriteLoc::Lrf { bank: None, .. }, LrfMode::Unified) => Some(0),
+                    (WriteLoc::Lrf { bank: Some(s), .. }, LrfMode::Split) => Some(s.index()),
+                    _ => None,
+                };
+                for r in dst.regs() {
+                    for (e, slot) in state.orf.iter_mut().enumerate() {
+                        let targeted =
+                            target_orf.is_some_and(|(base, w)| e >= base && e < base + w);
+                        if !targeted && *slot == Some(r) {
+                            *slot = None;
+                        }
+                    }
+                    for (b, slot) in state.lrf.iter_mut().enumerate() {
+                        if target_lrf != Some(b) && *slot == Some(r) {
+                            *slot = None;
+                        }
+                    }
+                }
+                let guarded = instr.guard.is_some();
+                let write = |slot: &mut Option<Reg>, reg: Reg| {
+                    if guarded {
+                        if *slot != Some(reg) {
+                            *slot = None;
+                        }
+                    } else {
+                        *slot = Some(reg);
+                    }
+                };
+                match instr.write_loc {
+                    WriteLoc::Mrf => {}
+                    WriteLoc::Orf { entry, .. } => {
+                        let e = entry as usize;
+                        let slots = dst.width.regs() as usize;
+                        if e + slots > config.orf_entries {
+                            diags.push(Diagnostic::at(
+                                Code::OrfConflict,
+                                *at,
+                                format!(
+                                    "write entry ORF{e} (+{slots} wide) out of range (`{instr}`)"
+                                ),
+                            ));
+                        } else {
+                            for (i, r) in dst.regs().enumerate() {
+                                write(&mut state.orf[e + i], r);
+                            }
+                        }
+                    }
+                    WriteLoc::Lrf { bank, .. } => {
+                        let mut ok = true;
+                        if !config.lrf.enabled() {
+                            diags.push(Diagnostic::at(
+                                Code::LrfMisuse,
+                                *at,
+                                format!("LRF write but no LRF configured (`{instr}`)"),
+                            ));
+                            ok = false;
+                        }
+                        if instr.op.unit().is_shared() {
+                            diags.push(Diagnostic::at(
+                                Code::LrfMisuse,
+                                *at,
+                                format!("the shared datapath cannot write the LRF (`{instr}`)"),
+                            ));
+                            ok = false;
+                        }
+                        if dst.width == Width::W64 {
+                            diags.push(Diagnostic::at(
+                                Code::LrfMisuse,
+                                *at,
+                                format!("64-bit values cannot live in the LRF (`{instr}`)"),
+                            ));
+                            ok = false;
+                        }
+                        if ok {
+                            match (config.lrf, bank) {
+                                (LrfMode::Unified, None) => write(&mut state.lrf[0], dst.reg),
+                                (LrfMode::Split, Some(s)) => {
+                                    write(&mut state.lrf[s.index()], dst.reg)
+                                }
+                                _ => diags.push(Diagnostic::at(
+                                    Code::LrfMisuse,
+                                    *at,
+                                    format!(
+                                        "LRF bank annotation does not match {} mode (`{instr}`)",
+                                        config.lrf
+                                    ),
+                                )),
+                            }
+                        }
+                    }
+                }
+            } else if instr.write_loc != WriteLoc::Mrf {
+                diags.push(Diagnostic::at(
+                    Code::OrfConflict,
+                    *at,
+                    format!(
+                        "upper-level write annotation on an instruction with no destination \
+                         (`{instr}`)"
+                    ),
+                ));
+            }
+
+            out_states.push(state);
+        }
+    }
+}
+
+fn describe(slot: Option<Reg>) -> String {
+    match slot {
+        Some(r) => format!("{r}"),
+        None => "no known value".to_string(),
+    }
+}

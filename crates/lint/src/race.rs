@@ -1,0 +1,305 @@
+//! RFH-L005 — statically detectable shared-memory races.
+//!
+//! Conservative, thread-index-offset based: every shared-memory address is
+//! resolved to the affine form `coef * tid + off` where possible. Two
+//! accesses in the same *barrier interval* (both reachable from one
+//! synchronization point without crossing another `bar`), at least one of
+//! them a store, race unless the address forms prove all threads stay
+//! disjoint:
+//!
+//! * same nonzero `coef`, and `off` difference not a nonzero multiple of
+//!   `coef` — each thread stays in its own lane;
+//! * both uniform (`coef == 0`) at *different* offsets.
+//!
+//! Everything else — unresolvable addresses, mixed strides, a uniform
+//! address written by every thread — is flagged. Guards are ignored
+//! (predication that partitions threads across disjoint ranges is beyond
+//! this analysis), so the check over-approximates: findings are warnings.
+
+use std::collections::BTreeSet;
+
+use rfh_analysis::DomTree;
+use rfh_isa::{InstrRef, Kernel, Opcode, Operand, Reg, Space, Special};
+
+use crate::diag::{Code, Diagnostic};
+
+/// An address as an affine function of the thread index, if resolvable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Addr {
+    Affine { coef: i64, off: i64 },
+    Unknown,
+}
+
+const MAX_RESOLVE_DEPTH: usize = 16;
+
+/// Resolves the value of `reg` as seen by the instruction at `at`,
+/// following unguarded definitions backward within the block and, failing
+/// that, a unique unguarded definition elsewhere in the kernel.
+fn resolve_reg(kernel: &Kernel, at: InstrRef, reg: Reg, depth: usize) -> Addr {
+    if depth == 0 {
+        return Addr::Unknown;
+    }
+    let block = kernel.block(at.block);
+    for index in (0..at.index).rev() {
+        let instr = &block.instrs[index];
+        if instr.def_regs().any(|r| r == reg) {
+            if instr.guard.is_some() {
+                return Addr::Unknown;
+            }
+            return eval_def(
+                kernel,
+                InstrRef {
+                    block: at.block,
+                    index,
+                },
+                reg,
+                depth,
+            );
+        }
+    }
+    // Not defined earlier in this block: usable only if the kernel has
+    // exactly one unguarded definition of the register anywhere.
+    let mut defs = kernel
+        .iter_instrs()
+        .filter(|(_, i)| i.def_regs().any(|r| r == reg));
+    let (def_at, def) = match (defs.next(), defs.next()) {
+        (Some(d), None) => d,
+        _ => return Addr::Unknown,
+    };
+    if def.guard.is_some() {
+        return Addr::Unknown;
+    }
+    eval_def(kernel, def_at, reg, depth)
+}
+
+/// Evaluates the definition at `def_at` (known to define `reg`).
+fn eval_def(kernel: &Kernel, def_at: InstrRef, reg: Reg, depth: usize) -> Addr {
+    let instr = kernel.instr(def_at);
+    // Only the low word of a wide definition has a simple value.
+    if instr.dst.map(|d| d.reg) != Some(reg) {
+        return Addr::Unknown;
+    }
+    let operand = |slot: usize| -> Addr { eval_operand(kernel, def_at, slot, depth - 1) };
+    match instr.op {
+        Opcode::Mov => operand(0),
+        Opcode::IAdd => add(operand(0), operand(1), 1),
+        Opcode::ISub => add(operand(0), operand(1), -1),
+        Opcode::IMul => mul(operand(0), operand(1)),
+        Opcode::Shl => match (operand(0), operand(1)) {
+            (a, Addr::Affine { coef: 0, off: sh }) if (0..31).contains(&sh) => mul(
+                a,
+                Addr::Affine {
+                    coef: 0,
+                    off: 1 << sh,
+                },
+            ),
+            _ => Addr::Unknown,
+        },
+        _ => Addr::Unknown,
+    }
+}
+
+fn eval_operand(kernel: &Kernel, at: InstrRef, slot: usize, depth: usize) -> Addr {
+    match kernel.instr(at).srcs.get(slot) {
+        Some(Operand::Imm(v)) => Addr::Affine {
+            coef: 0,
+            off: *v as i64,
+        },
+        Some(Operand::Special(Special::TidX)) => Addr::Affine { coef: 1, off: 0 },
+        Some(Operand::Reg(r)) => resolve_reg(kernel, at, *r, depth),
+        _ => Addr::Unknown,
+    }
+}
+
+fn add(a: Addr, b: Addr, sign: i64) -> Addr {
+    match (a, b) {
+        (Addr::Affine { coef: ca, off: oa }, Addr::Affine { coef: cb, off: ob }) => Addr::Affine {
+            coef: ca + sign * cb,
+            off: oa + sign * ob,
+        },
+        _ => Addr::Unknown,
+    }
+}
+
+fn mul(a: Addr, b: Addr) -> Addr {
+    match (a, b) {
+        (Addr::Affine { coef: 0, off: k }, Addr::Affine { coef, off })
+        | (Addr::Affine { coef, off }, Addr::Affine { coef: 0, off: k }) => Addr::Affine {
+            coef: coef * k,
+            off: off * k,
+        },
+        _ => Addr::Unknown,
+    }
+}
+
+/// One shared-memory access.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    at: InstrRef,
+    is_store: bool,
+    addr: Addr,
+}
+
+/// Can threads collide at these two address forms? (`self_pair`: the two
+/// accesses are the same instruction executed by different threads.)
+fn may_collide(a: Addr, b: Addr, self_pair: bool) -> bool {
+    match (a, b) {
+        (Addr::Affine { coef: ca, off: oa }, Addr::Affine { coef: cb, off: ob }) if ca == cb => {
+            if ca == 0 {
+                // Uniform addresses: every thread hits `off`.
+                oa == ob
+            } else if self_pair || oa == ob {
+                // Same stride, same offset: collisions require the
+                // same thread index.
+                false
+            } else {
+                // Same stride, different offsets: threads t and t' with
+                // coef * (t - t') == ob - oa collide.
+                (ob - oa) % ca == 0
+            }
+        }
+        // Mixed strides (e.g. broadcast slot vs. per-thread lane), or at
+        // least one unresolvable address.
+        _ => true,
+    }
+}
+
+/// Instruction positions reachable from `start` (inclusive) without
+/// crossing a barrier: one barrier interval.
+fn interval_from(kernel: &Kernel, start: InstrRef) -> Vec<InstrRef> {
+    let mut out = Vec::new();
+    let mut visited_blocks = vec![false; kernel.blocks.len()];
+    let mut work = vec![start];
+    while let Some(at) = work.pop() {
+        if at.index == 0 {
+            if visited_blocks[at.block.index()] {
+                continue;
+            }
+            visited_blocks[at.block.index()] = true;
+        }
+        let block = kernel.block(at.block);
+        let mut crossed_bar = false;
+        for index in at.index..block.instrs.len() {
+            if block.instrs[index].op.is_barrier() {
+                crossed_bar = true;
+                break;
+            }
+            out.push(InstrRef {
+                block: at.block,
+                index,
+            });
+        }
+        if !crossed_bar {
+            for succ in kernel.successors(at.block) {
+                if !visited_blocks[succ.index()] {
+                    work.push(InstrRef {
+                        block: succ,
+                        index: 0,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the check, appending RFH-L005 findings to `diags`.
+pub(crate) fn check(kernel: &Kernel, dom: &DomTree, diags: &mut Vec<Diagnostic>) {
+    let accesses: Vec<Access> = kernel
+        .iter_instrs()
+        .filter(|(at, _)| dom.is_reachable(at.block))
+        .filter_map(|(at, i)| {
+            let is_store = match i.op {
+                Opcode::Ld(Space::Shared) => false,
+                Opcode::St(Space::Shared) => true,
+                _ => return None,
+            };
+            Some(Access {
+                at,
+                is_store,
+                addr: match i.srcs.first() {
+                    Some(Operand::Reg(r)) => resolve_reg(kernel, at, *r, MAX_RESOLVE_DEPTH),
+                    Some(other) => eval_const_operand(*other),
+                    None => Addr::Unknown,
+                },
+            })
+        })
+        .collect();
+    if !accesses.iter().any(|a| a.is_store) {
+        return;
+    }
+
+    // Barrier-interval start points: the kernel entry and the position
+    // just after every barrier.
+    let mut starts: Vec<InstrRef> = vec![InstrRef {
+        block: kernel.entry(),
+        index: 0,
+    }];
+    for (at, i) in kernel.iter_instrs() {
+        if i.op.is_barrier() && dom.is_reachable(at.block) {
+            let block_len = kernel.block(at.block).instrs.len();
+            if at.index + 1 < block_len {
+                starts.push(InstrRef {
+                    block: at.block,
+                    index: at.index + 1,
+                });
+            } else {
+                for s in kernel.successors(at.block) {
+                    starts.push(InstrRef { block: s, index: 0 });
+                }
+            }
+        }
+    }
+
+    let mut reported: BTreeSet<(InstrRef, InstrRef)> = BTreeSet::new();
+    for start in starts {
+        let interval = interval_from(kernel, start);
+        let here: Vec<&Access> = accesses
+            .iter()
+            .filter(|a| interval.contains(&a.at))
+            .collect();
+        for (i, a) in here.iter().enumerate() {
+            for b in here.iter().skip(i) {
+                if !a.is_store && !b.is_store {
+                    continue;
+                }
+                let self_pair = a.at == b.at;
+                if !may_collide(a.addr, b.addr, self_pair) {
+                    continue;
+                }
+                let key = (a.at.min(b.at), a.at.max(b.at));
+                if !reported.insert(key) {
+                    continue;
+                }
+                let (store, other) = if a.is_store { (a, b) } else { (b, a) };
+                let msg = if self_pair {
+                    format!(
+                        "shared-memory store `{}` may race with itself across threads \
+                         (address not provably thread-private, no intervening barrier)",
+                        kernel.instr(store.at)
+                    )
+                } else {
+                    format!(
+                        "shared-memory store `{}` may race with the access `{}` at {} \
+                         (no intervening barrier proves the threads disjoint)",
+                        kernel.instr(store.at),
+                        kernel.instr(other.at),
+                        other.at
+                    )
+                };
+                diags.push(Diagnostic::at(Code::SharedRace, store.at, msg));
+            }
+        }
+    }
+}
+
+fn eval_const_operand(op: Operand) -> Addr {
+    match op {
+        Operand::Imm(v) => Addr::Affine {
+            coef: 0,
+            off: v as i64,
+        },
+        Operand::Special(Special::TidX) => Addr::Affine { coef: 1, off: 0 },
+        _ => Addr::Unknown,
+    }
+}

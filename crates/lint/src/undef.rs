@@ -1,0 +1,275 @@
+//! RFH-L001 — may-use-before-def along any CFG path, predication-aware.
+//!
+//! A forward dataflow over per-register initialization states:
+//!
+//! * `Def` — defined on every path reaching this point;
+//! * `Guarded(p, neg)` — defined at least when the guard `@p` / `@!p`
+//!   passes (the defining write was predicated, and `p` has not been
+//!   redefined since);
+//! * `Maybe` — possibly undefined on some path.
+//!
+//! A read of a `Maybe` register is flagged; a read of a `Guarded` register
+//! is accepted only under the *same* guard (same predicate, same
+//! polarity), which is how correctly predicated code defines-then-uses a
+//! value without the definition being unconditional.
+//!
+//! The analysis is edge-sensitive around conditional branches: on the
+//! taken edge of `@p bra`, `p` is known true (and on the fallthrough edge
+//! false), so a value defined on only one side of a hammock meets to
+//! `Guarded` rather than `Maybe` at the join, and a `Guarded` value is
+//! upgraded to `Def` on the edge that proves its guard passed.
+//!
+//! The executor zero-initializes registers, so an undefined read executes
+//! "cleanly" — this check is deliberately stricter than execution: reading
+//! an undefined register is a program defect even when it cannot crash.
+
+use rfh_analysis::DomTree;
+use rfh_isa::{BasicBlock, BlockId, InstrRef, Kernel, PredReg};
+
+use crate::diag::{Code, Diagnostic};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegInit {
+    Def,
+    Guarded(PredReg, bool),
+    Maybe,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredInit {
+    Def,
+    Maybe,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    regs: Vec<RegInit>,
+    preds: Vec<PredInit>,
+}
+
+impl State {
+    fn bottom(num_regs: usize, num_preds: usize) -> State {
+        State {
+            regs: vec![RegInit::Maybe; num_regs],
+            preds: vec![PredInit::Maybe; num_preds],
+        }
+    }
+
+    fn meet(&mut self, other: &State) {
+        for (a, &b) in self.regs.iter_mut().zip(&other.regs) {
+            *a = match (*a, b) {
+                (x, y) if x == y => x,
+                (RegInit::Def, g @ RegInit::Guarded(..))
+                | (g @ RegInit::Guarded(..), RegInit::Def) => g,
+                _ => RegInit::Maybe,
+            };
+        }
+        for (a, &b) in self.preds.iter_mut().zip(&other.preds) {
+            if *a != b {
+                *a = PredInit::Maybe;
+            }
+        }
+    }
+}
+
+/// A per-edge predicate fact: along this edge, `0`'s value is `1`.
+type Fact = (PredReg, bool);
+
+/// The predicate fact carried by the edge `from -> to`, if any: the taken
+/// edge of a guarded branch asserts the guard passed, the fallthrough edge
+/// (and the fallthrough of a guarded exit) asserts it failed.
+fn edge_fact(kernel: &Kernel, from: BlockId, to: BlockId) -> Option<Fact> {
+    let block = kernel.block(from);
+    let term = block.instrs.last()?;
+    let guard = term.guard.as_ref()?;
+    let fall = {
+        let next = from.index() + 1;
+        (next < kernel.blocks.len()).then(|| BlockId::new(next as u32))
+    };
+    if term.op.is_branch() {
+        let taken = term.target == Some(to);
+        let fell = fall == Some(to);
+        match (taken, fell) {
+            // Taken: the guard passed, so the predicate equals !negated.
+            (true, false) => Some((guard.reg, !guard.negated)),
+            // Fallthrough: the guard failed.
+            (false, true) => Some((guard.reg, guard.negated)),
+            // Branch to the fallthrough block: no information.
+            _ => None,
+        }
+    } else if term.op.is_exit() {
+        // Threads continuing past a guarded exit failed its guard.
+        Some((guard.reg, guard.negated))
+    } else {
+        None
+    }
+}
+
+fn apply_fact(state: &mut State, (pred, value): Fact) {
+    // The branch read the predicate; an undefined guard was flagged there.
+    if let Some(p) = state.preds.get_mut(pred.index() as usize) {
+        *p = PredInit::Def;
+    }
+    for r in state.regs.iter_mut() {
+        if let RegInit::Guarded(g, negated) = *r {
+            if g == pred {
+                // The guarded definition executed iff its guard passed,
+                // i.e. iff the predicate was !negated.
+                *r = if value != negated {
+                    RegInit::Def
+                } else {
+                    RegInit::Maybe
+                };
+            }
+        }
+    }
+}
+
+/// Applies one block's transfer function. With `diags`, also reports
+/// undefined reads (the checking pass).
+fn transfer_block(state: &mut State, block: &BasicBlock, mut diags: Option<&mut Vec<Diagnostic>>) {
+    for (index, instr) in block.instrs.iter().enumerate() {
+        if let Some(out) = diags.as_deref_mut() {
+            let at = InstrRef {
+                block: block.id,
+                index,
+            };
+            // ---- predicate reads: guard and psrc ----
+            for p in instr.guard.iter().map(|g| g.reg).chain(instr.psrc) {
+                if state.preds[p.index() as usize] == PredInit::Maybe {
+                    out.push(Diagnostic::at(
+                        Code::UseBeforeDef,
+                        at,
+                        format!("{p} may be read before it is defined (`{instr}`)"),
+                    ));
+                }
+            }
+            // ---- register reads ----
+            let mut flagged: Vec<rfh_isa::Reg> = Vec::new();
+            for (_, reg) in instr.reg_srcs() {
+                if flagged.contains(&reg) {
+                    continue;
+                }
+                match state.regs[reg.index() as usize] {
+                    RegInit::Def => {}
+                    RegInit::Guarded(p, negated) => {
+                        let same_guard = instr
+                            .guard
+                            .as_ref()
+                            .is_some_and(|g| g.reg == p && g.negated == negated);
+                        if !same_guard {
+                            flagged.push(reg);
+                            let bang = if negated { "!" } else { "" };
+                            out.push(Diagnostic::at(
+                                Code::UseBeforeDef,
+                                at,
+                                format!(
+                                    "{reg} is defined only under @{bang}{p} and may be read \
+                                     undefined here (`{instr}`)"
+                                ),
+                            ));
+                        }
+                    }
+                    RegInit::Maybe => {
+                        flagged.push(reg);
+                        out.push(Diagnostic::at(
+                            Code::UseBeforeDef,
+                            at,
+                            format!(
+                                "{reg} may be read before it is defined on some path (`{instr}`)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // ---- predicate definition ----
+        if let Some(p) = instr.pdst {
+            // Any redefinition of p invalidates "defined under @p" facts:
+            // the guard's value at those definitions is gone.
+            for r in state.regs.iter_mut() {
+                if matches!(*r, RegInit::Guarded(g, _) if g == p) {
+                    *r = RegInit::Maybe;
+                }
+            }
+            let slot = &mut state.preds[p.index() as usize];
+            if instr.guard.is_none() {
+                *slot = PredInit::Def;
+            }
+            // A guarded setp leaves an undefined predicate undefined.
+        }
+
+        // ---- register definitions ----
+        for reg in instr.def_regs() {
+            let slot = &mut state.regs[reg.index() as usize];
+            match &instr.guard {
+                None => *slot = RegInit::Def,
+                Some(g) => {
+                    // A guarded write keeps a definite definition definite
+                    // and otherwise guarantees the value only under its
+                    // own guard.
+                    if *slot != RegInit::Def {
+                        *slot = RegInit::Guarded(g.reg, g.negated);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the check, appending RFH-L001 findings to `diags`.
+pub(crate) fn check(kernel: &Kernel, dom: &DomTree, diags: &mut Vec<Diagnostic>) {
+    let n = kernel.blocks.len();
+    let bottom = State::bottom(
+        usize::from(kernel.num_regs()),
+        usize::from(kernel.num_preds()),
+    );
+    let entry = kernel.entry();
+    let preds = kernel.predecessors();
+
+    let mut ins: Vec<Option<State>> = vec![None; n];
+    // Everything is undefined when the kernel starts.
+    ins[entry.index()] = Some(bottom);
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            let bid = BlockId::new(b as u32);
+            if bid == entry || !dom.is_reachable(bid) {
+                continue;
+            }
+            let mut acc: Option<State> = None;
+            for &p in &preds[b] {
+                let Some(pin) = &ins[p.index()] else {
+                    continue;
+                };
+                let mut out = pin.clone();
+                transfer_block(&mut out, kernel.block(p), None);
+                if let Some(fact) = edge_fact(kernel, p, bid) {
+                    apply_fact(&mut out, fact);
+                }
+                match &mut acc {
+                    None => acc = Some(out),
+                    Some(a) => a.meet(&out),
+                }
+            }
+            if let Some(new_in) = acc {
+                if ins[b].as_ref() != Some(&new_in) {
+                    ins[b] = Some(new_in);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Checking pass over every reachable block.
+    for block in &kernel.blocks {
+        let Some(state) = &ins[block.id.index()] else {
+            continue; // unreachable: RFH-L002's business
+        };
+        let mut state = state.clone();
+        transfer_block(&mut state, block, Some(diags));
+    }
+}

@@ -1,0 +1,45 @@
+//! Property: the lint never **error**-flags a kernel from the seeded
+//! random generator. Generator kernels define every register and
+//! predicate before use, never emit barriers, and execute cleanly (the
+//! generator's own tests prove that differentially) — so any
+//! error-severity diagnostic on one would be a false positive. Warnings
+//! are fine: the conservative race check may fire on the generator's
+//! masked shared-memory traffic, and dead defs are common in random code.
+//!
+//! `RFH_LINT_PROP_CASES` scales the seed budget.
+
+use rfh_lint::{lint_kernel, LintOptions, Severity};
+use rfh_sim::exec::{execute, ExecMode};
+use rfh_sim::sink::NullSink;
+use rfh_workloads::generator::{random_program, GenConfig};
+
+#[test]
+fn lint_never_errors_on_clean_generated_kernels() {
+    let cases = rfh_testkit::env::positive_usize_knob("RFH_LINT_PROP_CASES").unwrap_or(60);
+    let options = LintOptions::default();
+    for seed in 0..cases as u64 {
+        let (kernel, launch, mem) = random_program(seed, GenConfig::default());
+        rfh_isa::validate(&kernel).unwrap_or_else(|e| panic!("seed {seed}: invalid kernel: {e}"));
+
+        // The ground truth: this kernel runs to completion.
+        let mut m = mem.clone();
+        let mut sink = NullSink;
+        execute(
+            &kernel,
+            &launch,
+            &mut m,
+            ExecMode::Baseline,
+            &mut [&mut sink],
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: execution failed: {e}"));
+
+        let errors: Vec<_> = lint_kernel(&kernel, &options)
+            .into_iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "seed {seed}: lint error-flagged a kernel that executes cleanly: {errors:?}"
+        );
+    }
+}

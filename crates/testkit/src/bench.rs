@@ -102,7 +102,7 @@ impl Criterion {
     /// Prints the summary and writes `RFH_BENCH_JSON` if requested. Called
     /// by [`criterion_main!`](crate::criterion_main).
     pub fn finish_all(self) {
-        if let Ok(path) = std::env::var("RFH_BENCH_JSON") {
+        if let Some(path) = crate::env::string("RFH_BENCH_JSON") {
             let json = self.to_json();
             std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
             eprintln!("[bench json written to {path}]");
@@ -140,18 +140,11 @@ fn escape(s: &str) -> String {
 }
 
 fn default_samples() -> usize {
-    std::env::var("RFH_BENCH_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10)
+    crate::env::positive_usize_knob("RFH_BENCH_SAMPLES").unwrap_or(10)
 }
 
 fn target_sample_time() -> Duration {
-    let ms = std::env::var("RFH_BENCH_SAMPLE_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20u64);
-    Duration::from_millis(ms)
+    Duration::from_millis(crate::env::u64_knob("RFH_BENCH_SAMPLE_MS").unwrap_or(20))
 }
 
 /// A named group of benchmarks sharing sample-count and throughput
@@ -166,7 +159,7 @@ pub struct BenchmarkGroup<'a> {
 impl BenchmarkGroup<'_> {
     /// Sets the number of samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        if std::env::var("RFH_BENCH_SAMPLES").is_err() {
+        if crate::env::string("RFH_BENCH_SAMPLES").is_none() {
             self.sample_size = n.max(2);
         }
         self

@@ -1,0 +1,46 @@
+//! Shared kernel-text corpus.
+//!
+//! One canonical list of `.rfasm` sources used by both the parser fuzz
+//! tests (`crates/isa/tests/parse_fuzz.rs`) and the lint golden report
+//! (`src/bin/lint_report.rs`), so the two stay in sync: every shape the
+//! parser is fuzzed over is also linted, and the golden diagnostics file
+//! covers exactly the fuzz corpus.
+
+/// Kernel sources the parser fuzzers mutate and the lint report covers:
+/// a straight-line kernel, a branchy/predicated kernel, and degenerate
+/// inputs that must be rejected structurally rather than by panicking.
+pub const KERNELS: &[&str] = &[
+    // A straight-line kernel.
+    "
+.kernel axpy
+BB0:
+  mov r0, %tid.x
+  ld.param r1 0
+  iadd r2 r1, r0
+  ld.global r3 r2
+  ffma r4 r3, 2.5f, r3
+  st.global r2, r4
+  exit
+",
+    // Branches, predicates, wide loads, strand-end markers.
+    "
+.kernel loopy
+BB0:
+  mov r7, 0
+BB1:
+  ld.shared r4.w64 r7
+  fmul r8 r5, r5 !
+  fadd r5 r8, 1.0f
+  iadd r7 r7, 1
+  setp.lt p0 r7, 4
+  @p0 bra BB1
+BB2:
+  st.global r0, r5
+  exit
+",
+    // Degenerate inputs.
+    "",
+    "\n\n\n",
+    ".kernel x\n",
+    "BB0:\n  exit\n",
+];

@@ -21,11 +21,19 @@
 //! * [`pool`] — a scoped thread pool ([`pool::par_map`]) used by the
 //!   experiment engine and the chaos harness to fan sweeps out across
 //!   cores (`RFH_JOBS` knob) while keeping results in input order, so
-//!   parallel runs stay byte-identical to serial ones.
+//!   parallel runs stay byte-identical to serial ones;
+//! * [`env`] — the single home for environment-variable knob parsing
+//!   (`RFH_JOBS`, `RFH_CHAOS_CASES`, `RFH_TESTKIT_SEED`, `RFH_BENCH_*`):
+//!   malformed values warn loudly with the offending string instead of
+//!   silently falling back or panicking;
+//! * [`corpus`] — the kernel-text corpus shared by the parser fuzz tests
+//!   and the lint golden report.
 //!
 //! See `docs/TESTING.md` at the repository root for the workflow guide.
 
 pub mod bench;
+pub mod corpus;
+pub mod env;
 pub mod pool;
 pub mod prop;
 pub mod rng;

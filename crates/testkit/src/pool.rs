@@ -20,17 +20,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Worker count: `RFH_JOBS` if set to a positive integer, else the
-/// machine's available parallelism, else 1.
+/// machine's available parallelism, else 1. A malformed value warns on
+/// stderr (see [`crate::env`]) before falling back.
 pub fn jobs() -> usize {
-    std::env::var("RFH_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    crate::env::positive_usize_knob("RFH_JOBS").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Applies `f` to every item, in parallel across [`jobs`] scoped worker

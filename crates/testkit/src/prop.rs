@@ -89,16 +89,7 @@ where
 }
 
 fn env_u64(name: &str) -> Option<u64> {
-    let raw = std::env::var(name).ok()?;
-    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16)
-    } else {
-        raw.parse()
-    };
-    match parsed {
-        Ok(v) => Some(v),
-        Err(_) => panic!("{name}={raw} is not a u64"),
-    }
+    crate::env::u64_knob(name)
 }
 
 /// Deterministic per-property base seed: properties explore the same

@@ -39,13 +39,25 @@ done
 echo "repro goldens byte-identical under RFH_JOBS=2"
 echo "bench timings: $artifacts/BENCH_repro.json"
 
+echo "==> lint smoke + golden diagnostics report"
+# The analyzer must accept the repo's own kernels: `rfhc lint` on a known
+# workload exits 0, and the full report over the corpus + all workloads
+# (unallocated and allocated) is byte-identical to the committed golden,
+# parallelism notwithstanding.
+printf '%s\n' '.kernel smoke' 'BB0:' '  mov r0, %tid.x' '  st.global r0, r0' '  exit' \
+    | ./target/release/rfhc lint --json - > /dev/null \
+    || { echo "rfhc lint smoke FAILED"; exit 1; }
+RFH_JOBS=2 ./target/release/lint_report > "$artifacts/lint_report.txt"
+cmp results/lint_report.txt "$artifacts/lint_report.txt"
+echo "lint report byte-identical under RFH_JOBS=2"
+
 echo "==> panic gate (hardened crates)"
 # Non-test library code of the hardened crates must stay panic-free:
 # no .unwrap() / panic! / unreachable! / todo! outside #[cfg(test)]
 # modules. `.expect("reason")` is allowed — the reason is the review gate.
 fail=0
 for f in crates/isa/src/*.rs crates/alloc/src/*.rs crates/sim/src/*.rs \
-    crates/chaos/src/*.rs; do
+    crates/chaos/src/*.rs crates/lint/src/*.rs; do
     hits=$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }

@@ -1,0 +1,76 @@
+//! Generates the golden lint report (`results/lint_report.txt`).
+//!
+//! Lints every kernel in the shared parse-fuzz corpus
+//! (`rfh_testkit::corpus::KERNELS`) and every registered workload, the
+//! latter both unallocated and after allocation under the paper's best
+//! configuration. The output is byte-identical regardless of `RFH_JOBS`:
+//! kernels are linted in parallel but results are emitted in input order.
+//!
+//! Usage: `lint_report > results/lint_report.txt` (CI regenerates the
+//! report and `cmp`s it against the committed golden copy).
+
+use rfh_lint::{human_line, lint_kernel, LintOptions};
+
+fn main() {
+    print!("{}", report());
+}
+
+fn report() -> String {
+    let mut out = String::new();
+    out.push_str("# rfh-lint golden report\n");
+    out.push_str("# corpus kernels, then workloads (unallocated + allocated)\n");
+
+    // ---- parse-fuzz corpus ----
+    let corpus: Vec<(String, &str)> = rfh_testkit::corpus::KERNELS
+        .iter()
+        .enumerate()
+        .map(|(i, text)| (format!("corpus[{i}]"), *text))
+        .collect();
+    let sections = rfh_testkit::pool::par_map(&corpus, |(name, text)| {
+        let mut s = format!("\n== {name} ==\n");
+        match rfh_isa::parse_kernel(text).and_then(|k| rfh_isa::validate(&k).map(|()| k)) {
+            Err(e) => {
+                s.push_str(&format!("rejected: {e}\n"));
+            }
+            Ok(kernel) => lint_into(&mut s, name, &kernel, &LintOptions::default()),
+        }
+        s
+    });
+    for s in sections {
+        out.push_str(&s);
+    }
+
+    // ---- workloads ----
+    let workloads = rfh_workloads::all();
+    let config = rfh_alloc::AllocConfig::default();
+    let model = rfh_energy::EnergyModel::paper();
+    let sections = rfh_testkit::pool::par_map(&workloads, |w| {
+        let mut s = format!("\n== workload {} ==\n", w.name);
+        lint_into(&mut s, &w.name, &w.kernel, &LintOptions { alloc: config });
+        let mut allocated = w.kernel.clone();
+        match rfh_alloc::allocate(&mut allocated, &config, &model) {
+            Err(e) => s.push_str(&format!("allocation error: {e}\n")),
+            Ok(_) => {
+                s.push_str(&format!("-- {} (allocated) --\n", w.name));
+                lint_into(&mut s, &w.name, &allocated, &LintOptions { alloc: config });
+            }
+        }
+        s
+    });
+    for s in sections {
+        out.push_str(&s);
+    }
+    out
+}
+
+fn lint_into(out: &mut String, name: &str, kernel: &rfh_isa::Kernel, options: &LintOptions) {
+    let diags = lint_kernel(kernel, options);
+    if diags.is_empty() {
+        out.push_str("clean\n");
+        return;
+    }
+    for d in &diags {
+        out.push_str(&human_line(name, d));
+        out.push('\n');
+    }
+}

@@ -2,16 +2,20 @@
 //!
 //! Reads a kernel in the textual assembly format, runs strand marking,
 //! liveness, and LRF/ORF/MRF allocation, and prints the annotated result
-//! (or plain text with only the strand bits via `--plain`).
+//! (or plain text with only the strand bits via `--plain`). The `lint`
+//! subcommand runs the `rfh-lint` static analyzer instead of allocating.
 //!
 //! ```text
 //! rfhc [--orf N] [--lrf none|unified|split] [--no-partial] [--no-readop]
 //!      [--plain] [--stats] <kernel.rfasm | ->
+//! rfhc lint [--orf N] [--lrf none|unified|split] [--json]
+//!      <kernel.rfasm | ->
 //! ```
 //!
 //! Exit codes are stable per error class (see `docs/ROBUSTNESS.md`):
 //! 0 success, 1 I/O, 2 usage, 3 parse error, 4 invalid kernel, 5 bad
-//! allocation config, 70 internal panic.
+//! allocation config, 8 lint errors, 70 internal panic. `rfhc lint`
+//! exits 0 when only warnings were found.
 
 use std::io::Read;
 use std::process::exit;
@@ -21,7 +25,8 @@ use rfh::energy::EnergyModel;
 use rfh::{RfhError, EXIT_INTERNAL_PANIC};
 
 const USAGE: &str = "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-partial] \
-     [--no-readop] [--plain] [--stats] <kernel.rfasm | ->";
+     [--no-readop] [--plain] [--stats] <kernel.rfasm | ->\n\
+       rfhc lint [--orf N] [--lrf none|unified|split] [--json] <kernel.rfasm | ->";
 
 fn usage(msg: &str) -> RfhError {
     RfhError::Usage(format!("{msg}\n{USAGE}"))
@@ -46,12 +51,17 @@ fn main() {
 }
 
 fn real_main() -> Result<(), RfhError> {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("lint") {
+        args.next();
+        return lint_main(args);
+    }
+
     let mut config = AllocConfig::three_level(3, true);
     let mut plain = false;
     let mut stats_only = false;
     let mut input: Option<String> = None;
 
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--orf" => {
@@ -82,22 +92,7 @@ fn real_main() -> Result<(), RfhError> {
         }
     }
     let path = input.ok_or_else(|| usage("no input file"))?;
-
-    let text = if path == "-" {
-        let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|source| RfhError::Io {
-                path: "-".into(),
-                source,
-            })?;
-        buf
-    } else {
-        std::fs::read_to_string(&path).map_err(|source| RfhError::Io {
-            path: path.clone(),
-            source,
-        })?
-    };
+    let text = read_input(&path)?;
 
     let mut kernel = rfh::isa::parse_kernel(&text)?;
 
@@ -129,4 +124,87 @@ fn real_main() -> Result<(), RfhError> {
         print!("{}", rfh::isa::printer::print_kernel_annotated(&kernel));
     }
     Ok(())
+}
+
+/// The `rfhc lint` subcommand: parse, validate, lint, render.
+///
+/// Diagnostics go to stdout (human lines, or JSON lines under `--json`);
+/// the summary goes to stderr. Error-severity findings exit 8; warnings
+/// alone exit 0.
+fn lint_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Result<(), RfhError> {
+    let mut options = rfh::lint::LintOptions::default();
+    let mut json = false;
+    let mut input: Option<String> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--orf" => {
+                let n = args.next().ok_or_else(|| usage("--orf needs a value"))?;
+                options.alloc.orf_entries = n
+                    .parse()
+                    .map_err(|_| usage("--orf needs an integer value"))?;
+            }
+            "--lrf" => {
+                options.alloc.lrf = match args.next().as_deref() {
+                    Some("none") => LrfMode::None,
+                    Some("unified") => LrfMode::Unified,
+                    Some("split") => LrfMode::Split,
+                    _ => return Err(usage("--lrf needs none|unified|split")),
+                }
+            }
+            "--json" => json = true,
+            "--help" | "-h" => return Err(usage("")),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.into()),
+            other => return Err(usage(&format!("unrecognized argument `{other}`"))),
+        }
+    }
+    let path = input.ok_or_else(|| usage("no input file"))?;
+    let text = read_input(&path)?;
+
+    let kernel = rfh::isa::parse_kernel(&text)?;
+    rfh::isa::validate(&kernel)?;
+
+    let name = if path == "-" {
+        "<stdin>"
+    } else {
+        path.as_str()
+    };
+    let diags = rfh::lint::lint_kernel(&kernel, &options);
+    for d in &diags {
+        if json {
+            println!("{}", rfh::lint::json_line(name, d));
+        } else {
+            println!("{}", rfh::lint::human_line(name, d));
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity() == rfh::lint::Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    eprintln!("rfhc lint: {errors} error(s), {warnings} warning(s)");
+    if errors > 0 {
+        return Err(RfhError::Lint { errors });
+    }
+    Ok(())
+}
+
+/// Reads the kernel text from a file path or stdin (`-`).
+fn read_input(path: &str) -> Result<String, RfhError> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|source| RfhError::Io {
+                path: "-".into(),
+                source,
+            })?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|source| RfhError::Io {
+            path: path.to_string(),
+            source,
+        })
+    }
 }

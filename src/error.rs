@@ -19,6 +19,7 @@
 //! | 5    | allocation configuration error              |
 //! | 6    | execution error                             |
 //! | 7    | timing-model error (deadlock, cycle budget) |
+//! | 8    | lint errors reported by `rfhc lint`         |
 //! | 70   | internal panic caught at the driver boundary|
 
 use std::fmt;
@@ -52,6 +53,12 @@ pub enum RfhError {
     Exec(ExecError),
     /// The timing model aborted (deadlock or cycle budget).
     Timing(TimingError),
+    /// `rfhc lint` found error-severity diagnostics (the diagnostics
+    /// themselves go to stdout; this carries the count for the summary).
+    Lint {
+        /// Number of error-severity findings.
+        errors: usize,
+    },
 }
 
 impl RfhError {
@@ -69,6 +76,7 @@ impl RfhError {
             RfhError::Alloc(AllocError::Config(_)) => 5,
             RfhError::Exec(_) => 6,
             RfhError::Timing(_) => 7,
+            RfhError::Lint { .. } => 8,
         }
     }
 }
@@ -82,6 +90,11 @@ impl fmt::Display for RfhError {
             RfhError::Alloc(e) => write!(f, "{e}"),
             RfhError::Exec(e) => write!(f, "{e}"),
             RfhError::Timing(e) => write!(f, "{e}"),
+            RfhError::Lint { errors } => write!(
+                f,
+                "lint found {errors} error{}",
+                if *errors == 1 { "" } else { "s" }
+            ),
         }
     }
 }
@@ -95,6 +108,7 @@ impl std::error::Error for RfhError {
             RfhError::Alloc(e) => Some(e),
             RfhError::Exec(e) => Some(e),
             RfhError::Timing(e) => Some(e),
+            RfhError::Lint { .. } => None,
         }
     }
 }
@@ -148,8 +162,21 @@ mod tests {
             .exit_code(),
             RfhError::Alloc(AllocError::Config("cfg".into())).exit_code(),
             RfhError::Timing(TimingError::Deadlock { cycle: 3 }).exit_code(),
+            RfhError::Lint { errors: 2 }.exit_code(),
         ];
-        assert_eq!(codes, [1, 2, 3, 4, 5, 7]);
+        assert_eq!(codes, [1, 2, 3, 4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn lint_error_display_counts() {
+        assert_eq!(
+            RfhError::Lint { errors: 1 }.to_string(),
+            "lint found 1 error"
+        );
+        assert_eq!(
+            RfhError::Lint { errors: 3 }.to_string(),
+            "lint found 3 errors"
+        );
     }
 
     #[test]

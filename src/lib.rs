@@ -20,7 +20,8 @@
 //! * [`alloc`] — the allocation algorithms (the paper's contribution);
 //! * [`sim`] — executor, HW cache models, scheduler timing;
 //! * [`workloads`] — benchmark suites and the random kernel generator;
-//! * [`experiments`] — per-figure/table experiment runners.
+//! * [`experiments`] — per-figure/table experiment runners;
+//! * [`lint`] — the static analyzer behind `rfhc lint` (RFH-L0xx codes).
 //!
 //! ## Quickstart
 //!
@@ -59,5 +60,6 @@ pub use rfh_analysis as analysis;
 pub use rfh_energy as energy;
 pub use rfh_experiments as experiments;
 pub use rfh_isa as isa;
+pub use rfh_lint as lint;
 pub use rfh_sim as sim;
 pub use rfh_workloads as workloads;

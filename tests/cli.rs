@@ -122,6 +122,72 @@ fn file_input_annotated_output_and_stats() {
 }
 
 #[test]
+fn lint_clean_kernel_exits_zero() {
+    let out = rfhc_stdin(&["lint", "-"], KERNEL);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("0 error(s), 0 warning(s)"),
+        "summary on stderr: {stderr}"
+    );
+    assert!(out.stdout.is_empty(), "no diagnostics for a clean kernel");
+}
+
+#[test]
+fn lint_errors_exit_with_code_8() {
+    // r7 is read but never defined: RFH-L001, an error.
+    let bad = ".kernel broken\nBB0:\n  iadd r0 r7, r7\n  st.global 0, r0\n  exit\n";
+    let out = rfhc_stdin(&["lint", "-"], bad);
+    assert_eq!(out.status.code(), Some(8), "lint errors exit with code 8");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[RFH-L001]"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("rfhc lint:"), "{stderr}");
+}
+
+#[test]
+fn lint_warnings_alone_exit_zero() {
+    // A dead def is RFH-L003, a warning: reported but not fatal.
+    let warn = ".kernel warny\nBB0:\n  mov r1, 5\n  exit\n";
+    let out = rfhc_stdin(&["lint", "-"], warn);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[RFH-L003]"), "{stdout}");
+}
+
+#[test]
+fn lint_json_output_is_one_object_per_line() {
+    let bad = ".kernel broken\nBB0:\n  iadd r0 r7, r7\n  st.global 0, r0\n  exit\n";
+    let out = rfhc_stdin(&["lint", "--json", "-"], bad);
+    assert_eq!(out.status.code(), Some(8));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with("{\"kernel\":\"<stdin>\",\"code\":\"RFH-L") && line.ends_with('}'),
+            "stable JSON shape: {line}"
+        );
+    }
+    assert!(stdout.contains("\"severity\":\"error\""), "{stdout}");
+}
+
+#[test]
+fn lint_respects_config_flags() {
+    // The pressure warning depends on the configured capacity: a 1-entry
+    // ORF with no LRF (capacity 1) trips RFH-L008 on the axpy kernel,
+    // while the default capacity does not.
+    let out = rfhc_stdin(&["lint", "--orf", "1", "--lrf", "none", "-"], KERNEL);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[RFH-L008]"), "{stdout}");
+}
+
+#[test]
+fn lint_rejects_malformed_input_with_the_parse_exit_code() {
+    let out = rfhc_stdin(&["lint", "-"], "not a kernel\n");
+    assert_eq!(out.status.code(), Some(3), "parse errors exit 3 under lint");
+}
+
+#[test]
 fn config_flags_change_the_allocation() {
     // With a 2-entry ORF and no LRF the stats line must reflect the
     // requested configuration.
