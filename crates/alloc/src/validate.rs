@@ -17,7 +17,8 @@
 use std::collections::HashMap;
 
 use rfh_analysis::RegSet;
-use rfh_isa::{InstrRef, Kernel, ReadLoc, Reg, Width, WriteLoc};
+use rfh_isa::access::{AccessKind, AccessPlan, AccessSlot, Datapath, Place};
+use rfh_isa::{InstrRef, Kernel, Reg, Width};
 
 use crate::config::{AllocConfig, LrfMode};
 
@@ -75,7 +76,7 @@ fn segments(kernel: &Kernel) -> Vec<Vec<InstrRef>> {
 /// Whole-kernel check that no MRF read can observe a *stale* MRF copy —
 /// i.e. a register whose latest definition on some path was written only
 /// to an upper level. Forward may-be-stale dataflow over blocks.
-fn validate_mrf_freshness(kernel: &Kernel) -> Result<(), String> {
+fn validate_mrf_freshness(kernel: &Kernel, plans: &[Vec<AccessPlan>]) -> Result<(), String> {
     let n = kernel.blocks.len();
     let num_regs = kernel.num_regs();
     let mut stale_in = vec![RegSet::new(num_regs); n];
@@ -85,32 +86,28 @@ fn validate_mrf_freshness(kernel: &Kernel) -> Result<(), String> {
                     b: &rfh_isa::BasicBlock,
                     check: bool|
      -> Result<(), String> {
-        for (idx, i) in b.instrs.iter().enumerate() {
+        for (idx, (i, plan)) in b.instrs.iter().zip(&plans[b.id.index()]).enumerate() {
             if check {
-                for (slot, src) in i.srcs.iter().enumerate() {
-                    if let Some(reg) = src.as_reg() {
-                        let mrf_read =
-                            matches!(i.read_locs[slot], ReadLoc::Mrf | ReadLoc::MrfFillOrf(_));
-                        if mrf_read && stale.contains(reg) {
-                            return Err(format!(
-                                "{}[{idx}] `{i}`: MRF read of {reg} may observe a stale copy                                  (an earlier definition skipped the MRF write)",
-                                b.id
-                            ));
-                        }
+                // An MRF-served read (including the MRF half of a fill) of
+                // a may-be-stale register is the bug this pass exists for.
+                for a in plan.reads() {
+                    if a.place == Place::Mrf && stale.contains(a.reg) {
+                        return Err(format!(
+                            "{}[{idx}] `{i}`: MRF read of {} may observe a stale copy                                  (an earlier definition skipped the MRF write)",
+                            b.id, a.reg
+                        ));
                     }
                 }
             }
-            if let Some(dst) = i.dst {
-                let writes_mrf = i.write_loc.writes_mrf();
-                for r in dst.regs() {
-                    if writes_mrf {
-                        if i.guard.is_none() {
-                            stale.remove(r);
-                        }
-                        // A guarded MRF write leaves the staleness as-is.
-                    } else {
-                        stale.insert(r);
+            let writes_mrf = plan.writes_mrf();
+            for r in plan.written_words() {
+                if writes_mrf {
+                    if i.guard.is_none() {
+                        stale.remove(*r);
                     }
+                    // A guarded MRF write leaves the staleness as-is.
+                } else {
+                    stale.insert(*r);
                 }
             }
         }
@@ -153,7 +150,14 @@ fn validate_mrf_freshness(kernel: &Kernel) -> Result<(), String> {
 ///
 /// Returns a human-readable description of the first inconsistency found.
 pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), String> {
-    validate_mrf_freshness(kernel)?;
+    // Resolve every instruction's access plan once up front; the freshness
+    // fixpoint re-walks blocks many times and the strand walk reuses them.
+    let plans: Vec<Vec<AccessPlan>> = kernel
+        .blocks
+        .iter()
+        .map(|b| b.instrs.iter().map(AccessPlan::resolve).collect())
+        .collect();
+    validate_mrf_freshness(kernel, &plans)?;
     let preds = kernel.predecessors();
     for strand in segments(kernel) {
         let pos_of: HashMap<InstrRef, usize> =
@@ -162,6 +166,7 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
 
         for (pos, at) in strand.iter().enumerate() {
             let instr = kernel.instr(*at);
+            let plan = &plans[at.block.index()][at.index];
             let loc = format!("{} `{}`", at, instr);
 
             // ---- in-state ----
@@ -206,20 +211,22 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
 
             // ---- reads ----
             let mut fills: Vec<(usize, Reg)> = Vec::new();
-            for (i, src) in instr.srcs.iter().enumerate() {
-                let Some(reg) = src.as_reg() else {
-                    continue;
-                };
-                match instr.read_locs[i] {
-                    ReadLoc::Mrf => {}
-                    ReadLoc::MrfFillOrf(e) => {
+            for a in plan
+                .accesses()
+                .iter()
+                .filter(|a| a.kind != AccessKind::Write)
+            {
+                let reg = a.reg;
+                match (a.kind, a.place) {
+                    (AccessKind::Fill, Place::Orf(e)) => {
                         let e = e as usize;
                         if e >= config.orf_entries {
                             return Err(format!("{loc}: fill entry ORF{e} out of range"));
                         }
                         fills.push((e, reg));
                     }
-                    ReadLoc::Orf(e) => {
+                    (_, Place::Mrf) | (AccessKind::Fill, _) => {}
+                    (_, Place::Orf(e)) => {
                         let e = e as usize;
                         if e >= config.orf_entries {
                             return Err(format!("{loc}: read entry ORF{e} out of range"));
@@ -231,13 +238,17 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
                             ));
                         }
                     }
-                    ReadLoc::Lrf(bank) => {
+                    (_, Place::Lrf(bank)) => {
                         if !config.lrf.enabled() {
                             return Err(format!("{loc}: LRF read but no LRF configured"));
                         }
-                        if instr.op.unit().is_shared() {
+                        if a.datapath == Datapath::Shared {
                             return Err(format!("{loc}: shared datapath cannot read the LRF"));
                         }
+                        let AccessSlot::Src(i) = a.slot else {
+                            continue;
+                        };
+                        let i = i as usize;
                         let b = match (config.lrf, bank) {
                             (LrfMode::Unified, None) => 0,
                             (LrfMode::Split, Some(s)) => {
@@ -269,31 +280,29 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
             }
 
             // ---- defs ----
-            if let Some(dst) = instr.dst {
+            if !plan.written_words().is_empty() {
                 // Any redefinition (even a guarded one, conservatively)
                 // invalidates stale copies in entries it does not target;
                 // the targeted entries are handled by `write` below.
-                let target_orf: Option<(usize, usize)> = match instr.write_loc {
-                    WriteLoc::Orf { entry, .. } => {
-                        Some((entry as usize, dst.width.regs() as usize))
-                    }
-                    _ => None,
-                };
-                let target_lrf: Option<usize> = match (instr.write_loc, config.lrf) {
-                    (WriteLoc::Lrf { bank: None, .. }, LrfMode::Unified) => Some(0),
-                    (WriteLoc::Lrf { bank: Some(s), .. }, LrfMode::Split) => Some(s.index()),
-                    _ => None,
-                };
-                for r in dst.regs() {
+                let orf_base = plan
+                    .writes()
+                    .find_map(|a| a.place.orf_entry().map(|e| e as usize));
+                let words = plan.written_words().len();
+                let target_lrf: Option<usize> =
+                    plan.writes().find_map(|a| match (config.lrf, a.place) {
+                        (LrfMode::Unified, Place::Lrf(None)) => Some(0),
+                        (LrfMode::Split, Place::Lrf(Some(s))) => Some(s.index()),
+                        _ => None,
+                    });
+                for r in plan.written_words() {
                     for (e, slot) in state.orf.iter_mut().enumerate() {
-                        let targeted =
-                            target_orf.is_some_and(|(base, w)| e >= base && e < base + w);
-                        if !targeted && *slot == Some(r) {
+                        let targeted = orf_base.is_some_and(|base| e >= base && e < base + words);
+                        if !targeted && *slot == Some(*r) {
                             *slot = None;
                         }
                     }
                     for (b, slot) in state.lrf.iter_mut().enumerate() {
-                        if target_lrf != Some(b) && *slot == Some(r) {
+                        if target_lrf != Some(b) && *slot == Some(*r) {
                             *slot = None;
                         }
                     }
@@ -308,44 +317,45 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
                         *slot = Some(reg);
                     }
                 };
-                match instr.write_loc {
-                    WriteLoc::Mrf => {}
-                    WriteLoc::Orf { entry, .. } => {
-                        let e = entry as usize;
-                        let slots = dst.width.regs() as usize;
-                        if e + slots > config.orf_entries {
-                            return Err(format!(
-                                "{loc}: write entry ORF{e} (+{slots}) out of range"
-                            ));
-                        }
-                        for (i, r) in dst.regs().enumerate() {
-                            write(&mut state.orf[e + i], r);
-                        }
+                if let Some(e) = orf_base {
+                    let slots = words;
+                    if e + slots > config.orf_entries {
+                        return Err(format!("{loc}: write entry ORF{e} (+{slots}) out of range"));
                     }
-                    WriteLoc::Lrf { bank, .. } => {
-                        if !config.lrf.enabled() {
-                            return Err(format!("{loc}: LRF write but no LRF configured"));
+                    for a in plan.writes() {
+                        if let Place::Orf(entry) = a.place {
+                            write(&mut state.orf[entry as usize], a.reg);
                         }
-                        if instr.op.unit().is_shared() {
-                            return Err(format!("{loc}: shared datapath cannot write the LRF"));
-                        }
-                        if dst.width == Width::W64 {
-                            return Err(format!("{loc}: 64-bit values cannot live in the LRF"));
-                        }
-                        let b = match (config.lrf, bank) {
-                            (LrfMode::Unified, None) => 0,
-                            (LrfMode::Split, Some(s)) => s.index(),
-                            _ => {
-                                return Err(format!(
-                                    "{loc}: LRF bank annotation does not match {} mode",
-                                    config.lrf
-                                ))
-                            }
-                        };
-                        write(&mut state.lrf[b], dst.reg);
                     }
                 }
-            } else if instr.write_loc != WriteLoc::Mrf {
+                for a in plan.writes() {
+                    let Place::Lrf(bank) = a.place else { continue };
+                    // Per-value checks run once, on the low word's access.
+                    if a.slot != AccessSlot::DstWord(0) {
+                        continue;
+                    }
+                    if !config.lrf.enabled() {
+                        return Err(format!("{loc}: LRF write but no LRF configured"));
+                    }
+                    if a.datapath == Datapath::Shared {
+                        return Err(format!("{loc}: shared datapath cannot write the LRF"));
+                    }
+                    if a.width == Width::W64 {
+                        return Err(format!("{loc}: 64-bit values cannot live in the LRF"));
+                    }
+                    let b = match (config.lrf, bank) {
+                        (LrfMode::Unified, None) => 0,
+                        (LrfMode::Split, Some(s)) => s.index(),
+                        _ => {
+                            return Err(format!(
+                                "{loc}: LRF bank annotation does not match {} mode",
+                                config.lrf
+                            ))
+                        }
+                    };
+                    write(&mut state.lrf[b], a.reg);
+                }
+            } else if plan.orphan_upper_write() {
                 return Err(format!(
                     "{loc}: upper-level write on an instruction with no destination"
                 ));
@@ -360,7 +370,7 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfh_isa::{parse_kernel, BlockId, Slot};
+    use rfh_isa::{parse_kernel, BlockId, ReadLoc, Slot, WriteLoc};
 
     fn at(b: u32, i: usize) -> InstrRef {
         InstrRef {
@@ -563,7 +573,7 @@ BB3:
 #[cfg(test)]
 mod freshness_tests {
     use super::*;
-    use rfh_isa::parse_kernel;
+    use rfh_isa::{parse_kernel, WriteLoc};
 
     /// Regression: a loop-carried value written only to the ORF leaves the
     /// MRF stale for the next iteration's MRF read.

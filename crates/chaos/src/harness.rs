@@ -118,6 +118,40 @@ fn bounded_machine() -> MachineConfig {
     m
 }
 
+/// Invariant check on the canonical access resolver: for every
+/// instruction of a (possibly corrupted) kernel, `AccessPlan::resolve`
+/// must be panic-free and self-consistent with the raw annotations —
+/// one read per register source, one written word per destination
+/// register, and MRF-write parity with the `WriteLoc` annotation. Every
+/// counting and validation layer now consumes the plan, so a resolver
+/// that drifts under corruption would silently skew all of them at once.
+fn check_plan_sanity(kernel: &Kernel) -> Result<(), String> {
+    let mut plan = rfh_isa::AccessPlan::new();
+    for (at, instr) in kernel.iter_instrs() {
+        plan.resolve_into(instr);
+        let dst_words = instr.dst.map(|d| d.regs().count()).unwrap_or(0);
+        if plan.written_words().len() != dst_words {
+            return Err(format!(
+                "access plan at {at}: {} written words but the destination has {dst_words}",
+                plan.written_words().len()
+            ));
+        }
+        let reg_srcs = instr.srcs.iter().filter(|s| s.as_reg().is_some()).count();
+        let reads = plan.reads().count();
+        if reads != reg_srcs {
+            return Err(format!(
+                "access plan at {at}: {reads} reads but {reg_srcs} register sources"
+            ));
+        }
+        if dst_words > 0 && plan.writes_mrf() != instr.write_loc.writes_mrf() {
+            return Err(format!(
+                "access plan at {at}: writes_mrf disagrees with the WriteLoc annotation"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Differential check for a structurally *validated* mutant kernel: run it
 /// unallocated in baseline mode and allocated in hierarchy-faithful mode.
 /// Allocation must preserve the mutant's semantics exactly — identical
@@ -242,7 +276,10 @@ pub fn run_ir_layer(
             }
             match rfh_isa::validate(&mutant) {
                 Err(_) => Ok(CaseOutcome::Rejected),
-                Ok(()) => differential(&mutant, cfg, w),
+                Ok(()) => {
+                    check_plan_sanity(&mutant)?;
+                    differential(&mutant, cfg, w)
+                }
             }
         }))
     });
@@ -333,6 +370,10 @@ pub fn run_place_layer(
             if mutant == allocated {
                 return Ok(CaseOutcome::Unchanged);
             }
+            // Placement mutations never touch operand structure, so the
+            // access resolver's invariants must hold on *every* mutant,
+            // flagged or not.
+            check_plan_sanity(&mutant)?;
             if validate_placements(&mutant, cfg).is_err() {
                 return Ok(CaseOutcome::Flagged);
             }

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
+use rfh_isa::access::{AccessKind, AccessPlan, Datapath, Place, RegAccess};
 use rfh_isa::Level;
 
 use crate::model::EnergyModel;
@@ -60,6 +61,34 @@ impl AccessCounts {
             Level::Mrf => self.mrf_write,
             Level::Orf => self.orf_write_private + self.orf_write_shared,
             Level::Lrf => self.lrf_write,
+        }
+    }
+
+    /// Tallies one resolved register-file access.
+    ///
+    /// This is the single mapping from the canonical [`RegAccess`] form to
+    /// the count fields the energy model prices: reads and writes land at
+    /// their level split by datapath, and a fill deposit is a private-side
+    /// ORF write (its paired MRF read arrives as its own `Read` access).
+    pub fn record(&mut self, access: &RegAccess) {
+        let shared = access.datapath == Datapath::Shared;
+        match (access.kind, access.place) {
+            (AccessKind::Read, Place::Mrf) => self.mrf_read += 1,
+            (AccessKind::Read, Place::Orf(_)) if shared => self.orf_read_shared += 1,
+            (AccessKind::Read, Place::Orf(_)) => self.orf_read_private += 1,
+            (AccessKind::Read, Place::Lrf(_)) => self.lrf_read += 1,
+            (AccessKind::Fill, _) => self.orf_write_private += 1,
+            (AccessKind::Write, Place::Mrf) => self.mrf_write += 1,
+            (AccessKind::Write, Place::Orf(_)) if shared => self.orf_write_shared += 1,
+            (AccessKind::Write, Place::Orf(_)) => self.orf_write_private += 1,
+            (AccessKind::Write, Place::Lrf(_)) => self.lrf_write += 1,
+        }
+    }
+
+    /// Tallies every access of a resolved instruction plan.
+    pub fn record_plan(&mut self, plan: &AccessPlan) {
+        for access in plan.accesses() {
+            self.record(access);
         }
     }
 }
@@ -224,6 +253,35 @@ mod tests {
         assert_eq!(a.lrf_write, 5);
         let c = a + b;
         assert_eq!(c.mrf_read, 5);
+    }
+
+    #[test]
+    fn record_maps_accesses_to_fields() {
+        use rfh_isa::access::{AccessKind, AccessSlot, Datapath, Place, RegAccess};
+        use rfh_isa::{Reg, Width};
+        let mk = |kind, place, datapath| RegAccess {
+            kind,
+            place,
+            datapath,
+            reg: Reg::new(0),
+            slot: AccessSlot::Src(0),
+            width: Width::W32,
+        };
+        let mut c = AccessCounts::default();
+        c.record(&mk(AccessKind::Read, Place::Mrf, Datapath::Shared));
+        c.record(&mk(AccessKind::Read, Place::Orf(1), Datapath::Shared));
+        c.record(&mk(AccessKind::Read, Place::Lrf(None), Datapath::Private));
+        c.record(&mk(AccessKind::Fill, Place::Orf(0), Datapath::Private));
+        c.record(&mk(AccessKind::Write, Place::Orf(2), Datapath::Shared));
+        c.record(&mk(AccessKind::Write, Place::Lrf(None), Datapath::Private));
+        c.record(&mk(AccessKind::Write, Place::Mrf, Datapath::Shared));
+        assert_eq!(c.mrf_read, 1);
+        assert_eq!(c.orf_read_shared, 1);
+        assert_eq!(c.lrf_read, 1);
+        assert_eq!(c.orf_write_private, 1, "the fill is a private ORF write");
+        assert_eq!(c.orf_write_shared, 1);
+        assert_eq!(c.lrf_write, 1);
+        assert_eq!(c.mrf_write, 1);
     }
 
     #[test]

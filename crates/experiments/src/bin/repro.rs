@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--csv <dir>] [--bench-json <path>] [experiment...]
+//! repro [--csv <dir>] [--bench-json <path>] [--jobs N] [experiment...]
 //!
 //! experiments:
 //!   table1 table2 table3 table4   the paper's input tables
@@ -53,6 +53,14 @@ fn main() {
     let csv_dir = take_flag(&mut args, "--csv");
     // `--bench-json <path>` records per-experiment wall times.
     let bench_json = take_flag(&mut args, "--bench-json");
+    // `--jobs N` overrides the `RFH_JOBS` pool knob; it shares the knob
+    // parser, so a malformed value warns loudly and falls back instead of
+    // silently diverging from the env-var behavior.
+    if let Some(raw) = take_flag(&mut args, "--jobs") {
+        if let Some(n) = rfh_testkit::env::parse_positive_usize("--jobs", &raw) {
+            std::env::set_var("RFH_JOBS", n.to_string());
+        }
+    }
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }

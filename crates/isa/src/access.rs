@@ -1,0 +1,476 @@
+//! Canonical access resolution: one `Instruction` → one [`AccessPlan`].
+//!
+//! The paper's methodology is a single instruction trace feeding several
+//! analyses (access counting, RFC modeling, energy accounting — §5.1), and
+//! every one of those analyses needs the same answer to the same question:
+//! *which register-file accesses does this instruction perform?* That
+//! answer folds together four rules that are easy to drift apart when
+//! re-derived at each consumer:
+//!
+//! * a [`ReadLoc`] names the level serving each register source operand;
+//! * a [`ReadLoc::MrfFillOrf`] read additionally *fills* an ORF entry (the
+//!   read-operand allocation of §4.4) — one MRF read plus one ORF write on
+//!   the private MRF→ORF path;
+//! * a 64-bit value costs one access **per 32-bit word** at every level it
+//!   is written to, and its words occupy `entry` and `entry + 1` in the
+//!   ORF (the double-cost rule, [`AccessPlan::width_words`]);
+//! * accesses are attributed to the private or shared datapath by the
+//!   executing unit, which prices the ORF wire runs (Table 4).
+//!
+//! [`AccessPlan::resolve`] is the single home of those rules. The counting
+//! models (`rfh-sim`), the dynamic placement validator (`rfh-alloc`), the
+//! static analyzer (`rfh-lint`), and the trace/profiling sinks all consume
+//! the resolved plan instead of hand-matching `read_locs` / `write_loc`.
+
+use std::fmt;
+
+use crate::instr::Instruction;
+use crate::operand::Slot;
+use crate::placement::{Level, ReadLoc, WriteLoc};
+use crate::reg::{Reg, Width};
+
+/// What an access does to the level it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A source operand read.
+    Read,
+    /// The ORF deposit of a read-operand fill (§4.4): the paired MRF read
+    /// appears as a separate [`AccessKind::Read`] access.
+    Fill,
+    /// A destination write (one per 32-bit word of the value).
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Fill => write!(f, "fill"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// The datapath an access interacts with (prices the ORF wire run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Datapath {
+    /// The per-lane ALU datapath (can reach the LRF).
+    Private,
+    /// The shared SFU/MEM/TEX datapath (ORF and MRF only).
+    Shared,
+}
+
+impl fmt::Display for Datapath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datapath::Private => write!(f, "private"),
+            Datapath::Shared => write!(f, "shared"),
+        }
+    }
+}
+
+/// The physical location of one 32-bit access, with storage indices
+/// resolved per word.
+///
+/// Unlike [`ReadLoc`] / [`WriteLoc`] annotations, a wide write is already
+/// expanded here: the high word of a 64-bit ORF write shows up as its own
+/// access at `entry + 1`. The entry is widened to `u16` so a corrupted
+/// `entry = 255` annotation on a wide value resolves to 256 instead of
+/// wrapping — range checks stay sound under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Place {
+    /// The main register file.
+    Mrf,
+    /// The given ORF entry.
+    Orf(u16),
+    /// The LRF (`Some(bank)` under the split design, `None` unified).
+    Lrf(Option<Slot>),
+}
+
+impl Place {
+    /// The hierarchy level of this place.
+    pub const fn level(self) -> Level {
+        match self {
+            Place::Mrf => Level::Mrf,
+            Place::Orf(_) => Level::Orf,
+            Place::Lrf(_) => Level::Lrf,
+        }
+    }
+
+    /// The ORF entry index, if this is an ORF place.
+    pub const fn orf_entry(self) -> Option<u16> {
+        match self {
+            Place::Orf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Mrf => write!(f, "MRF"),
+            Place::Orf(e) => write!(f, "ORF{e}"),
+            Place::Lrf(None) => write!(f, "LRF"),
+            Place::Lrf(Some(s)) => write!(f, "LRF.{s}"),
+        }
+    }
+}
+
+/// Which operand of the instruction an access belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessSlot {
+    /// Source operand slot index (0 = A, 1 = B, 2 = C).
+    Src(u8),
+    /// Destination word index (0 = low word, 1 = high word of a pair).
+    DstWord(u8),
+}
+
+impl fmt::Display for AccessSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessSlot::Src(i) => write!(f, "src{i}"),
+            AccessSlot::DstWord(i) => write!(f, "dst{i}"),
+        }
+    }
+}
+
+/// One resolved 32-bit register-file access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegAccess {
+    /// Read, fill, or write.
+    pub kind: AccessKind,
+    /// The level and storage index touched.
+    pub place: Place,
+    /// The datapath side (fills always travel the private MRF→ORF path).
+    pub datapath: Datapath,
+    /// The architectural register word involved.
+    pub reg: Reg,
+    /// The operand this access belongs to.
+    pub slot: AccessSlot,
+    /// The width of the *value* the access is part of (reads name the
+    /// value, so they are always `W32`; a wide write carries `W64` on both
+    /// of its per-word accesses).
+    pub width: Width,
+}
+
+/// The complete list of register-file accesses one instruction performs,
+/// as resolved by [`AccessPlan::resolve`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessPlan {
+    accesses: Vec<RegAccess>,
+    dst_words: Vec<Reg>,
+    orphan_upper_write: bool,
+}
+
+impl AccessPlan {
+    /// An empty plan, for use as a reusable scratch buffer with
+    /// [`AccessPlan::resolve_into`] (per-event consumers avoid one
+    /// allocation per executed instruction this way).
+    pub const fn new() -> Self {
+        AccessPlan {
+            accesses: Vec::new(),
+            dst_words: Vec::new(),
+            orphan_upper_write: false,
+        }
+    }
+
+    /// Resolves the accesses of `instr`.
+    pub fn resolve(instr: &Instruction) -> Self {
+        let mut plan = AccessPlan::new();
+        plan.resolve_into(instr);
+        plan
+    }
+
+    /// The number of per-word accesses a write of `width` performs at each
+    /// level it touches — the single home of the 64-bit double-cost rule.
+    pub const fn width_words(width: Width) -> u64 {
+        width.regs() as u64
+    }
+
+    /// [`AccessPlan::resolve`] into `self`, reusing its buffers.
+    pub fn resolve_into(&mut self, instr: &Instruction) {
+        self.accesses.clear();
+        self.dst_words.clear();
+        self.orphan_upper_write = false;
+
+        let dp = if instr.op.unit().is_shared() {
+            Datapath::Shared
+        } else {
+            Datapath::Private
+        };
+
+        for (i, src) in instr.srcs.iter().enumerate() {
+            let Some(reg) = src.as_reg() else { continue };
+            let slot = AccessSlot::Src(i as u8);
+            let push = |accesses: &mut Vec<RegAccess>, kind, place, datapath| {
+                accesses.push(RegAccess {
+                    kind,
+                    place,
+                    datapath,
+                    reg,
+                    slot,
+                    width: Width::W32,
+                });
+            };
+            match instr.read_locs[i] {
+                ReadLoc::Mrf => push(&mut self.accesses, AccessKind::Read, Place::Mrf, dp),
+                ReadLoc::MrfFillOrf(e) => {
+                    push(&mut self.accesses, AccessKind::Read, Place::Mrf, dp);
+                    // The fill deposit travels the private MRF→ORF path
+                    // regardless of which datapath consumes the read.
+                    push(
+                        &mut self.accesses,
+                        AccessKind::Fill,
+                        Place::Orf(e as u16),
+                        Datapath::Private,
+                    );
+                }
+                ReadLoc::Orf(e) => push(
+                    &mut self.accesses,
+                    AccessKind::Read,
+                    Place::Orf(e as u16),
+                    dp,
+                ),
+                ReadLoc::Lrf(bank) => {
+                    push(&mut self.accesses, AccessKind::Read, Place::Lrf(bank), dp)
+                }
+            }
+        }
+
+        if let Some(dst) = instr.dst {
+            for (word, reg) in dst.regs().enumerate() {
+                let word = word as u16;
+                self.dst_words.push(reg);
+                let slot = AccessSlot::DstWord(word as u8);
+                let mut push = |place| {
+                    self.accesses.push(RegAccess {
+                        kind: AccessKind::Write,
+                        place,
+                        datapath: dp,
+                        reg,
+                        slot,
+                        width: dst.width,
+                    });
+                };
+                match instr.write_loc {
+                    WriteLoc::Mrf => push(Place::Mrf),
+                    WriteLoc::Orf { entry, also_mrf } => {
+                        push(Place::Orf(entry as u16 + word));
+                        if also_mrf {
+                            push(Place::Mrf);
+                        }
+                    }
+                    WriteLoc::Lrf { bank, also_mrf } => {
+                        push(Place::Lrf(bank));
+                        if also_mrf {
+                            push(Place::Mrf);
+                        }
+                    }
+                }
+            }
+        } else {
+            self.orphan_upper_write = instr.write_loc.upper_level().is_some();
+        }
+    }
+
+    /// Every access, in deterministic order: source operands in slot
+    /// order (each fill directly after its MRF read), then destination
+    /// words low-to-high (each `also_mrf` copy directly after its
+    /// upper-level write).
+    pub fn accesses(&self) -> &[RegAccess] {
+        &self.accesses
+    }
+
+    /// The source operand reads (one per register source, including the
+    /// MRF read of a fill).
+    pub fn reads(&self) -> impl Iterator<Item = &RegAccess> {
+        self.accesses.iter().filter(|a| a.kind == AccessKind::Read)
+    }
+
+    /// The ORF deposits of read-operand fills.
+    pub fn fills(&self) -> impl Iterator<Item = &RegAccess> {
+        self.accesses.iter().filter(|a| a.kind == AccessKind::Fill)
+    }
+
+    /// The destination writes (per word, per level written).
+    pub fn writes(&self) -> impl Iterator<Item = &RegAccess> {
+        self.accesses.iter().filter(|a| a.kind == AccessKind::Write)
+    }
+
+    /// The architectural register words the destination writes, low word
+    /// first (empty when the instruction produces nothing).
+    pub fn written_words(&self) -> &[Reg] {
+        &self.dst_words
+    }
+
+    /// Whether any destination write touches the MRF (mirrors
+    /// [`WriteLoc::writes_mrf`] for instructions that have a destination).
+    pub fn writes_mrf(&self) -> bool {
+        self.writes().any(|a| a.place == Place::Mrf)
+    }
+
+    /// Whether the instruction carries an upper-level write annotation but
+    /// produces no value — always a corrupted annotation.
+    pub const fn orphan_upper_write(&self) -> bool {
+        self.orphan_upper_write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::{Opcode, Space};
+    use crate::ops;
+
+    fn r(i: u16) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn baseline_instruction_is_all_mrf() {
+        let i = ops::iadd(r(2), r(0).into(), r(1).into());
+        let plan = AccessPlan::resolve(&i);
+        assert_eq!(plan.accesses().len(), 3);
+        assert_eq!(plan.reads().count(), 2);
+        assert_eq!(plan.writes().count(), 1);
+        assert_eq!(plan.fills().count(), 0);
+        assert!(plan.writes_mrf());
+        assert_eq!(plan.written_words(), &[r(2)]);
+        for a in plan.accesses() {
+            assert_eq!(a.place, Place::Mrf);
+            assert_eq!(a.datapath, Datapath::Private);
+        }
+    }
+
+    #[test]
+    fn immediates_produce_no_accesses() {
+        let i = ops::iadd(r(1), r(0).into(), 5.into());
+        let plan = AccessPlan::resolve(&i);
+        assert_eq!(plan.reads().count(), 1);
+        assert_eq!(
+            plan.reads().next().map(|a| a.slot),
+            Some(AccessSlot::Src(0))
+        );
+    }
+
+    #[test]
+    fn fill_emits_mrf_read_plus_private_orf_fill() {
+        let mut i = crate::Instruction::new(Opcode::Ld(Space::Shared))
+            .with_dst(r(2))
+            .with_src(r(0));
+        i.read_locs[0] = ReadLoc::MrfFillOrf(1);
+        let plan = AccessPlan::resolve(&i);
+        let src: Vec<_> = plan
+            .accesses()
+            .iter()
+            .filter(|a| matches!(a.slot, AccessSlot::Src(_)))
+            .collect();
+        assert_eq!(src.len(), 2);
+        assert_eq!(src[0].kind, AccessKind::Read);
+        assert_eq!(src[0].place, Place::Mrf);
+        assert_eq!(src[0].datapath, Datapath::Shared, "consumed by a load");
+        assert_eq!(src[1].kind, AccessKind::Fill);
+        assert_eq!(src[1].place, Place::Orf(1));
+        assert_eq!(
+            src[1].datapath,
+            Datapath::Private,
+            "the fill deposit travels the private MRF→ORF path"
+        );
+        assert_eq!(src[1].reg, r(0));
+    }
+
+    #[test]
+    fn wide_write_expands_per_word() {
+        let mut i = crate::Instruction::new(Opcode::Ld(Space::Shared))
+            .with_dst64(r(4))
+            .with_src(r(0));
+        i.write_loc = WriteLoc::Orf {
+            entry: 2,
+            also_mrf: true,
+        };
+        let plan = AccessPlan::resolve(&i);
+        let writes: Vec<_> = plan.writes().collect();
+        assert_eq!(writes.len(), 4, "two words × (ORF + MRF)");
+        assert_eq!(writes[0].place, Place::Orf(2));
+        assert_eq!(writes[0].reg, r(4));
+        assert_eq!(writes[1].place, Place::Mrf);
+        assert_eq!(writes[2].place, Place::Orf(3));
+        assert_eq!(writes[2].reg, r(5));
+        assert_eq!(writes[3].place, Place::Mrf);
+        assert_eq!(plan.written_words(), &[r(4), r(5)]);
+        assert!(writes.iter().all(|a| a.width == Width::W64));
+        assert_eq!(AccessPlan::width_words(Width::W64), 2);
+        assert_eq!(AccessPlan::width_words(Width::W32), 1);
+    }
+
+    #[test]
+    fn corrupted_wide_entry_does_not_wrap() {
+        let mut i = ops::iadd(r(2), r(0).into(), r(1).into());
+        i.dst = Some(crate::Dst::w64(r(2)));
+        i.write_loc = WriteLoc::Orf {
+            entry: 255,
+            also_mrf: false,
+        };
+        let plan = AccessPlan::resolve(&i);
+        let entries: Vec<_> = plan.writes().filter_map(|a| a.place.orf_entry()).collect();
+        assert_eq!(entries, vec![255, 256], "entry + 1 must not wrap to 0");
+    }
+
+    #[test]
+    fn shared_unit_attribution() {
+        let mut i = crate::Instruction::new(Opcode::Ld(Space::Global))
+            .with_dst(r(1))
+            .with_src(r(0));
+        i.read_locs[0] = ReadLoc::Orf(0);
+        i.write_loc = WriteLoc::Orf {
+            entry: 1,
+            also_mrf: false,
+        };
+        let plan = AccessPlan::resolve(&i);
+        assert!(plan
+            .accesses()
+            .iter()
+            .filter(|a| a.kind != AccessKind::Fill)
+            .all(|a| a.datapath == Datapath::Shared));
+    }
+
+    #[test]
+    fn orphan_upper_write_detected() {
+        let mut i = ops::st_global(r(0).into(), r(1).into());
+        assert!(!AccessPlan::resolve(&i).orphan_upper_write());
+        i.write_loc = WriteLoc::Orf {
+            entry: 0,
+            also_mrf: false,
+        };
+        let plan = AccessPlan::resolve(&i);
+        assert!(plan.orphan_upper_write());
+        assert!(plan.written_words().is_empty());
+        assert_eq!(plan.writes().count(), 0);
+    }
+
+    #[test]
+    fn resolve_into_reuses_buffers() {
+        let a = ops::iadd(r(1), r(0).into(), 1.into());
+        let b = ops::mov(r(0), 7.into());
+        let mut plan = AccessPlan::new();
+        plan.resolve_into(&a);
+        assert_eq!(plan.accesses().len(), 2);
+        plan.resolve_into(&b);
+        assert_eq!(plan, AccessPlan::resolve(&b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Place::Orf(3).to_string(), "ORF3");
+        assert_eq!(Place::Lrf(Some(Slot::A)).to_string(), "LRF.A");
+        assert_eq!(Place::Mrf.to_string(), "MRF");
+        assert_eq!(AccessKind::Fill.to_string(), "fill");
+        assert_eq!(Datapath::Shared.to_string(), "shared");
+        assert_eq!(AccessSlot::Src(1).to_string(), "src1");
+        assert_eq!(AccessSlot::DstWord(1).to_string(), "dst1");
+        assert_eq!(Place::Orf(2).level(), Level::Orf);
+        assert_eq!(Place::Lrf(None).level(), Level::Lrf);
+        assert_eq!(Place::Mrf.orf_entry(), None);
+    }
+}

@@ -34,6 +34,9 @@
 //! * [`Instruction`] and free constructor functions in [`ops`]
 //! * [`Level`], [`ReadLoc`], [`WriteLoc`] — register file hierarchy
 //!   placement annotations produced by the allocator ([`placement`])
+//! * [`AccessPlan`], [`RegAccess`] — canonical resolution of one
+//!   instruction's placements into its explicit list of register-file
+//!   accesses ([`access`])
 //! * [`BasicBlock`], [`Kernel`] — the CFG container ([`kernel`])
 //! * [`KernelBuilder`] — an ergonomic DSL for writing kernels ([`builder`])
 //! * [`parse_kernel`] / [`printer::print_kernel`] — a textual assembly format
@@ -55,6 +58,7 @@
 //! rfh_isa::validate(&kernel).unwrap();
 //! ```
 
+pub mod access;
 pub mod builder;
 pub mod error;
 pub mod instr;
@@ -68,6 +72,7 @@ pub mod printer;
 pub mod reg;
 pub mod validate;
 
+pub use access::{AccessKind, AccessPlan, AccessSlot, Datapath, Place, RegAccess};
 pub use builder::KernelBuilder;
 pub use error::IsaError;
 pub use instr::{Dst, Instruction, PredGuard};

@@ -23,7 +23,8 @@ use std::collections::HashMap;
 
 use rfh_alloc::{AllocConfig, LrfMode};
 use rfh_analysis::RegSet;
-use rfh_isa::{InstrRef, Kernel, ReadLoc, Reg, Width, WriteLoc};
+use rfh_isa::access::{AccessKind, AccessPlan, AccessSlot, Datapath, Place};
+use rfh_isa::{InstrRef, Kernel, Reg, Width};
 
 use crate::diag::{Code, Diagnostic};
 
@@ -87,38 +88,35 @@ fn check_mrf_freshness(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
     let transfer =
         |stale: &mut RegSet, b: &rfh_isa::BasicBlock, diags: Option<&mut Vec<Diagnostic>>| {
             let mut diags = diags;
+            let mut plan = AccessPlan::new();
             for (idx, i) in b.instrs.iter().enumerate() {
+                plan.resolve_into(i);
                 if let Some(out) = diags.as_deref_mut() {
-                    for (slot, src) in i.srcs.iter().enumerate() {
-                        if let Some(reg) = src.as_reg() {
-                            let mrf_read =
-                                matches!(i.read_locs[slot], ReadLoc::Mrf | ReadLoc::MrfFillOrf(_));
-                            if mrf_read && stale.contains(reg) {
-                                out.push(Diagnostic::at(
-                                    Code::OrfConflict,
-                                    InstrRef {
-                                        block: b.id,
-                                        index: idx,
-                                    },
-                                    format!(
-                                        "MRF read of {reg} may observe a stale copy — an earlier \
-                                     definition skipped the MRF write (`{i}`)"
-                                    ),
-                                ));
-                            }
+                    for a in plan.reads() {
+                        if a.place == Place::Mrf && stale.contains(a.reg) {
+                            out.push(Diagnostic::at(
+                                Code::OrfConflict,
+                                InstrRef {
+                                    block: b.id,
+                                    index: idx,
+                                },
+                                format!(
+                                    "MRF read of {} may observe a stale copy — an earlier \
+                                     definition skipped the MRF write (`{i}`)",
+                                    a.reg
+                                ),
+                            ));
                         }
                     }
                 }
-                if let Some(dst) = i.dst {
-                    let writes_mrf = i.write_loc.writes_mrf();
-                    for r in dst.regs() {
-                        if writes_mrf {
-                            if i.guard.is_none() {
-                                stale.remove(r);
-                            }
-                        } else {
-                            stale.insert(r);
+                let writes_mrf = plan.writes_mrf();
+                for r in plan.written_words() {
+                    if writes_mrf {
+                        if i.guard.is_none() {
+                            stale.remove(*r);
                         }
+                    } else {
+                        stale.insert(*r);
                     }
                 }
             }
@@ -157,6 +155,7 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
 
         for (pos, at) in strand.iter().enumerate() {
             let instr = kernel.instr(*at);
+            let plan = AccessPlan::resolve(instr);
 
             // ---- in-state ----
             let mut state: Option<State> = None;
@@ -200,13 +199,14 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
 
             // ---- reads ----
             let mut fills: Vec<(usize, Reg)> = Vec::new();
-            for (i, src) in instr.srcs.iter().enumerate() {
-                let Some(reg) = src.as_reg() else {
-                    continue;
-                };
-                match instr.read_locs[i] {
-                    ReadLoc::Mrf => {}
-                    ReadLoc::MrfFillOrf(e) => {
+            for a in plan
+                .accesses()
+                .iter()
+                .filter(|a| a.kind != AccessKind::Write)
+            {
+                let reg = a.reg;
+                match (a.kind, a.place) {
+                    (AccessKind::Fill, Place::Orf(e)) => {
                         let e = e as usize;
                         if e >= config.orf_entries {
                             diags.push(Diagnostic::at(
@@ -218,7 +218,8 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
                             fills.push((e, reg));
                         }
                     }
-                    ReadLoc::Orf(e) => {
+                    (_, Place::Mrf) | (AccessKind::Fill, _) => {}
+                    (_, Place::Orf(e)) => {
                         let e = e as usize;
                         if e >= config.orf_entries {
                             diags.push(Diagnostic::at(
@@ -237,7 +238,7 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
                             ));
                         }
                     }
-                    ReadLoc::Lrf(bank) => {
+                    (_, Place::Lrf(bank)) => {
                         if !config.lrf.enabled() {
                             diags.push(Diagnostic::at(
                                 Code::LrfMisuse,
@@ -246,7 +247,7 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
                             ));
                             continue;
                         }
-                        if instr.op.unit().is_shared() {
+                        if a.datapath == Datapath::Shared {
                             diags.push(Diagnostic::at(
                                 Code::LrfMisuse,
                                 *at,
@@ -254,6 +255,8 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
                             ));
                             continue;
                         }
+                        let AccessSlot::Src(i) = a.slot else { continue };
+                        let i = i as usize;
                         let b = match (config.lrf, bank) {
                             (LrfMode::Unified, None) => 0,
                             (LrfMode::Split, Some(s)) => {
@@ -300,28 +303,26 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
             }
 
             // ---- defs ----
-            if let Some(dst) = instr.dst {
-                let target_orf: Option<(usize, usize)> = match instr.write_loc {
-                    WriteLoc::Orf { entry, .. } => {
-                        Some((entry as usize, dst.width.regs() as usize))
-                    }
-                    _ => None,
-                };
-                let target_lrf: Option<usize> = match (instr.write_loc, config.lrf) {
-                    (WriteLoc::Lrf { bank: None, .. }, LrfMode::Unified) => Some(0),
-                    (WriteLoc::Lrf { bank: Some(s), .. }, LrfMode::Split) => Some(s.index()),
-                    _ => None,
-                };
-                for r in dst.regs() {
+            if !plan.written_words().is_empty() {
+                let orf_base = plan
+                    .writes()
+                    .find_map(|a| a.place.orf_entry().map(|e| e as usize));
+                let words = plan.written_words().len();
+                let target_lrf: Option<usize> =
+                    plan.writes().find_map(|a| match (config.lrf, a.place) {
+                        (LrfMode::Unified, Place::Lrf(None)) => Some(0),
+                        (LrfMode::Split, Place::Lrf(Some(s))) => Some(s.index()),
+                        _ => None,
+                    });
+                for r in plan.written_words() {
                     for (e, slot) in state.orf.iter_mut().enumerate() {
-                        let targeted =
-                            target_orf.is_some_and(|(base, w)| e >= base && e < base + w);
-                        if !targeted && *slot == Some(r) {
+                        let targeted = orf_base.is_some_and(|base| e >= base && e < base + words);
+                        if !targeted && *slot == Some(*r) {
                             *slot = None;
                         }
                     }
                     for (b, slot) in state.lrf.iter_mut().enumerate() {
-                        if target_lrf != Some(b) && *slot == Some(r) {
+                        if target_lrf != Some(b) && *slot == Some(*r) {
                             *slot = None;
                         }
                     }
@@ -336,70 +337,69 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
                         *slot = Some(reg);
                     }
                 };
-                match instr.write_loc {
-                    WriteLoc::Mrf => {}
-                    WriteLoc::Orf { entry, .. } => {
-                        let e = entry as usize;
-                        let slots = dst.width.regs() as usize;
-                        if e + slots > config.orf_entries {
-                            diags.push(Diagnostic::at(
-                                Code::OrfConflict,
-                                *at,
-                                format!(
-                                    "write entry ORF{e} (+{slots} wide) out of range (`{instr}`)"
-                                ),
-                            ));
-                        } else {
-                            for (i, r) in dst.regs().enumerate() {
-                                write(&mut state.orf[e + i], r);
-                            }
-                        }
-                    }
-                    WriteLoc::Lrf { bank, .. } => {
-                        let mut ok = true;
-                        if !config.lrf.enabled() {
-                            diags.push(Diagnostic::at(
-                                Code::LrfMisuse,
-                                *at,
-                                format!("LRF write but no LRF configured (`{instr}`)"),
-                            ));
-                            ok = false;
-                        }
-                        if instr.op.unit().is_shared() {
-                            diags.push(Diagnostic::at(
-                                Code::LrfMisuse,
-                                *at,
-                                format!("the shared datapath cannot write the LRF (`{instr}`)"),
-                            ));
-                            ok = false;
-                        }
-                        if dst.width == Width::W64 {
-                            diags.push(Diagnostic::at(
-                                Code::LrfMisuse,
-                                *at,
-                                format!("64-bit values cannot live in the LRF (`{instr}`)"),
-                            ));
-                            ok = false;
-                        }
-                        if ok {
-                            match (config.lrf, bank) {
-                                (LrfMode::Unified, None) => write(&mut state.lrf[0], dst.reg),
-                                (LrfMode::Split, Some(s)) => {
-                                    write(&mut state.lrf[s.index()], dst.reg)
-                                }
-                                _ => diags.push(Diagnostic::at(
-                                    Code::LrfMisuse,
-                                    *at,
-                                    format!(
-                                        "LRF bank annotation does not match {} mode (`{instr}`)",
-                                        config.lrf
-                                    ),
-                                )),
+                if let Some(e) = orf_base {
+                    let slots = words;
+                    if e + slots > config.orf_entries {
+                        diags.push(Diagnostic::at(
+                            Code::OrfConflict,
+                            *at,
+                            format!("write entry ORF{e} (+{slots} wide) out of range (`{instr}`)"),
+                        ));
+                    } else {
+                        for a in plan.writes() {
+                            if let Place::Orf(entry) = a.place {
+                                write(&mut state.orf[entry as usize], a.reg);
                             }
                         }
                     }
                 }
-            } else if instr.write_loc != WriteLoc::Mrf {
+                for a in plan.writes() {
+                    let Place::Lrf(bank) = a.place else { continue };
+                    // Per-value checks run once, on the low word's access.
+                    if a.slot != AccessSlot::DstWord(0) {
+                        continue;
+                    }
+                    let mut ok = true;
+                    if !config.lrf.enabled() {
+                        diags.push(Diagnostic::at(
+                            Code::LrfMisuse,
+                            *at,
+                            format!("LRF write but no LRF configured (`{instr}`)"),
+                        ));
+                        ok = false;
+                    }
+                    if a.datapath == Datapath::Shared {
+                        diags.push(Diagnostic::at(
+                            Code::LrfMisuse,
+                            *at,
+                            format!("the shared datapath cannot write the LRF (`{instr}`)"),
+                        ));
+                        ok = false;
+                    }
+                    if a.width == Width::W64 {
+                        diags.push(Diagnostic::at(
+                            Code::LrfMisuse,
+                            *at,
+                            format!("64-bit values cannot live in the LRF (`{instr}`)"),
+                        ));
+                        ok = false;
+                    }
+                    if ok {
+                        match (config.lrf, bank) {
+                            (LrfMode::Unified, None) => write(&mut state.lrf[0], a.reg),
+                            (LrfMode::Split, Some(s)) => write(&mut state.lrf[s.index()], a.reg),
+                            _ => diags.push(Diagnostic::at(
+                                Code::LrfMisuse,
+                                *at,
+                                format!(
+                                    "LRF bank annotation does not match {} mode (`{instr}`)",
+                                    config.lrf
+                                ),
+                            )),
+                        }
+                    }
+                }
+            } else if plan.orphan_upper_write() {
                 diags.push(Diagnostic::at(
                     Code::OrfConflict,
                     *at,

@@ -1,21 +1,22 @@
 //! Access counting for software-managed hierarchies.
 
 use rfh_energy::AccessCounts;
-use rfh_isa::{ReadLoc, Width, WriteLoc};
+use rfh_isa::AccessPlan;
 
 use crate::sink::{InstrEvent, TraceSink};
 
 /// Tallies register file hierarchy accesses of an annotated kernel.
 ///
-/// Every register source operand is one read access at the level its
-/// `ReadLoc` names; a `MrfFillOrf` read additionally writes the ORF (the
-/// read-operand fill of §4.4). Every destination write goes where its
-/// `WriteLoc` says, with 64-bit values costing two accesses at each level
-/// written. Reads and writes of the ORF are split by datapath for wire
-/// energy.
+/// Every executed instruction is resolved by [`AccessPlan::resolve_into`]
+/// into its explicit access list — reads at the level each `ReadLoc`
+/// names, the ORF deposit of read-operand fills (§4.4), and per-word
+/// destination writes (64-bit values cost two accesses at each level
+/// written) — and folded into [`AccessCounts`], which splits ORF traffic
+/// by datapath for wire energy.
 #[derive(Debug, Default, Clone)]
 pub struct SwCounter {
     counts: AccessCounts,
+    plan: AccessPlan,
 }
 
 impl SwCounter {
@@ -27,52 +28,8 @@ impl SwCounter {
 
 impl TraceSink for SwCounter {
     fn on_instr(&mut self, event: &InstrEvent<'_>) {
-        let instr = event.instr;
-        let shared = instr.op.unit().is_shared();
-        for (slot, src) in instr.srcs.iter().enumerate() {
-            if !src.is_reg() {
-                continue;
-            }
-            match instr.read_locs[slot] {
-                ReadLoc::Mrf => self.counts.mrf_read += 1,
-                ReadLoc::MrfFillOrf(_) => {
-                    self.counts.mrf_read += 1;
-                    // The fill write travels the MRF→ORF path; we account
-                    // it as a private-side ORF write.
-                    self.counts.orf_write_private += 1;
-                }
-                ReadLoc::Orf(_) => {
-                    if shared {
-                        self.counts.orf_read_shared += 1;
-                    } else {
-                        self.counts.orf_read_private += 1;
-                    }
-                }
-                ReadLoc::Lrf(_) => self.counts.lrf_read += 1,
-            }
-        }
-        if let Some(dst) = instr.dst {
-            let w = u64::from(dst.width == Width::W64) + 1;
-            match instr.write_loc {
-                WriteLoc::Mrf => self.counts.mrf_write += w,
-                WriteLoc::Orf { also_mrf, .. } => {
-                    if shared {
-                        self.counts.orf_write_shared += w;
-                    } else {
-                        self.counts.orf_write_private += w;
-                    }
-                    if also_mrf {
-                        self.counts.mrf_write += w;
-                    }
-                }
-                WriteLoc::Lrf { also_mrf, .. } => {
-                    self.counts.lrf_write += w;
-                    if also_mrf {
-                        self.counts.mrf_write += w;
-                    }
-                }
-            }
-        }
+        self.plan.resolve_into(event.instr);
+        self.counts.record_plan(&self.plan);
     }
 }
 
@@ -207,6 +164,7 @@ BB0:
 pub struct StrandCounter {
     map: Vec<Vec<u32>>,
     counts: Vec<AccessCounts>,
+    plan: AccessPlan,
 }
 
 impl StrandCounter {
@@ -217,6 +175,7 @@ impl StrandCounter {
         StrandCounter {
             map,
             counts: vec![AccessCounts::default(); strands],
+            plan: AccessPlan::new(),
         }
     }
 
@@ -236,8 +195,7 @@ impl StrandCounter {
 impl TraceSink for StrandCounter {
     fn on_instr(&mut self, event: &InstrEvent<'_>) {
         let sid = self.map[event.at.block.index()][event.at.index] as usize;
-        let mut one = SwCounter::default();
-        one.on_instr(event);
-        self.counts[sid] += one.counts();
+        self.plan.resolve_into(event.instr);
+        self.counts[sid].record_plan(&self.plan);
     }
 }

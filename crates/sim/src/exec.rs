@@ -21,6 +21,7 @@ use std::fmt;
 
 use rfh_alloc::{AllocConfig, LrfMode};
 use rfh_analysis::DomTree;
+use rfh_isa::access::{AccessKind, AccessPlan, Place};
 use rfh_isa::{
     CmpOp, InstrRef, Instruction, Kernel, Opcode, Operand, ReadLoc, SfuOp, Space, Special, Width,
     WriteLoc,
@@ -366,50 +367,27 @@ fn check_placements(kernel: &Kernel, cfg: &AllocConfig) -> Result<(), ExecError>
     let orf = cfg.orf_entries;
     let banks = lrf_bank_count(cfg.lrf);
     let bad = |what: String, at: InstrRef| ExecError::BadPlacement { what, at };
+    let mut plan = AccessPlan::new();
     for (at, instr) in kernel.iter_instrs() {
-        if instr.dst.is_some() {
-            let wide = instr.dst.map(|d| d.width == Width::W64).unwrap_or(false);
-            match instr.write_loc {
-                WriteLoc::Mrf => {}
-                WriteLoc::Orf { entry, .. } => {
-                    let top = entry as usize + usize::from(wide);
-                    if top >= orf {
-                        return Err(bad(
-                            format!("write to ORF entry {top} of {orf} configured"),
-                            at,
-                        ));
-                    }
-                }
-                WriteLoc::Lrf { bank, .. } => {
-                    let b = bank.map(|s| s.index()).unwrap_or(0);
-                    if b >= banks {
-                        return Err(bad(
-                            format!("write to LRF bank {b} of {banks} configured"),
-                            at,
-                        ));
-                    }
-                }
-            }
-        }
-        for (slot, loc) in instr.read_locs.iter().enumerate() {
-            if !instr.srcs[slot].is_reg() {
-                continue;
-            }
-            match *loc {
-                ReadLoc::Mrf => {}
-                ReadLoc::Orf(e) | ReadLoc::MrfFillOrf(e) => {
+        plan.resolve_into(instr);
+        for a in plan.accesses() {
+            let verb = match a.kind {
+                AccessKind::Read => "read of",
+                AccessKind::Fill => "fill of",
+                AccessKind::Write => "write to",
+            };
+            match a.place {
+                Place::Mrf => {}
+                Place::Orf(e) => {
                     if e as usize >= orf {
-                        return Err(bad(
-                            format!("read of ORF entry {e} of {orf} configured"),
-                            at,
-                        ));
+                        return Err(bad(format!("{verb} ORF entry {e} of {orf} configured"), at));
                     }
                 }
-                ReadLoc::Lrf(bank) => {
+                Place::Lrf(bank) => {
                     let b = bank.map(|s| s.index()).unwrap_or(0);
                     if b >= banks {
                         return Err(bad(
-                            format!("read of LRF bank {b} of {banks} configured"),
+                            format!("{verb} LRF bank {b} of {banks} configured"),
                             at,
                         ));
                     }

@@ -14,8 +14,12 @@
 //!   modeled ORF/LRF storage according to the compiler's placements, and
 //!   upper levels are poisoned at strand boundaries — so a mis-allocated
 //!   kernel produces wrong results instead of silently passing;
-//! * [`sink`] — the instruction-trace observer interface;
+//! * [`sink`] — the instruction-trace observer interface, including the
+//!   [`FanoutSink`] combinator for composing observer stacks;
 //! * [`counts`] — access counting for software-managed hierarchies;
+//! * [`profile`] — per-strand energy attribution (accesses × energy
+//!   model, bucketed by strand);
+//! * [`trace`] — structured trace export (JSON lines / Chrome trace);
 //! * [`rfc`] — the hardware register file cache baseline of prior work
 //!   \[11\] (FIFO, allocate-on-miss, static-liveness writeback elision,
 //!   flush on deschedule), in two- and three-level variants;
@@ -50,18 +54,22 @@ pub mod counts;
 pub mod exec;
 pub mod machine;
 pub mod mem;
+pub mod profile;
 pub mod rfc;
 pub mod sink;
 pub mod timing;
+pub mod trace;
 pub mod usage;
 
 pub use counts::SwCounter;
 pub use exec::{execute, ExecError, ExecMode, ExecReport, Launch};
 pub use machine::MachineConfig;
 pub use mem::GlobalMemory;
+pub use profile::EnergyProfiler;
 pub use rfc::{HwCounter, RfcConfig};
-pub use sink::TraceSink;
+pub use sink::{FanoutSink, TraceSink};
 pub use timing::{
     simulate_timing, SchedPolicy, TimingConfig, TimingError, TimingResult, DEFAULT_MAX_CYCLES,
 };
+pub use trace::TraceExporter;
 pub use usage::UsageStats;

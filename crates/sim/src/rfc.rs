@@ -16,6 +16,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use rfh_energy::AccessCounts;
+use rfh_isa::access::{AccessPlan, AccessSlot, Datapath};
 use rfh_isa::Unit;
 
 use crate::sink::{InstrEvent, TraceSink};
@@ -89,6 +90,7 @@ pub struct HwCounter {
     shared_regs: HashSet<u16>,
     /// Number of deschedule (flush) events observed.
     pub deschedules: u64,
+    plan: AccessPlan,
 }
 
 impl HwCounter {
@@ -109,6 +111,7 @@ impl HwCounter {
             warps: HashMap::new(),
             shared_regs,
             deschedules: 0,
+            plan: AccessPlan::new(),
         }
     }
 
@@ -173,13 +176,13 @@ impl HwCounter {
 impl TraceSink for HwCounter {
     fn on_instr(&mut self, event: &InstrEvent<'_>) {
         let instr = event.instr;
+        self.plan.resolve_into(instr);
+        let plan = &self.plan;
         let state = self.warps.entry(event.warp).or_default();
         let counts = &mut self.counts;
 
         // ---- deschedule detection (two-level scheduler) ----
-        let blocks_on_pending = instr
-            .reg_srcs()
-            .any(|(_, r)| state.pending.contains(&r.index()));
+        let blocks_on_pending = plan.reads().any(|a| state.pending.contains(&a.reg.index()));
         let barrier = instr.op.is_barrier();
         if blocks_on_pending || barrier {
             self.deschedules += 1;
@@ -196,11 +199,13 @@ impl TraceSink for HwCounter {
         }
 
         // ---- reads ----
-        let consumer_shared = instr.op.unit().is_shared();
-        for (slot, src) in instr.srcs.iter().enumerate() {
-            let Some(reg) = src.as_reg() else { continue };
-            let reg = reg.index();
-            let dead = instr.dead_after[slot];
+        for a in plan.reads() {
+            let AccessSlot::Src(slot) = a.slot else {
+                continue;
+            };
+            let reg = a.reg.index();
+            let dead = instr.dead_after[slot as usize];
+            let consumer_shared = a.datapath == Datapath::Shared;
             let lrf_hit = self.cfg.hw_lrf
                 && !consumer_shared
                 && state.lrf.map(|l| l.reg == reg).unwrap_or(false);
@@ -231,46 +236,44 @@ impl TraceSink for HwCounter {
         }
 
         // ---- writes ----
-        if let Some(dst) = instr.dst {
-            for r in dst.regs() {
-                let reg = r.index();
-                // Overwritten stale copies are dropped silently.
-                state.fifo.retain(|l| l.reg != reg);
-                if state.lrf.map(|l| l.reg == reg).unwrap_or(false) {
-                    state.lrf = None;
-                }
-                state.pending.remove(&reg);
+        for r in plan.written_words() {
+            let reg = r.index();
+            // Overwritten stale copies are dropped silently.
+            state.fifo.retain(|l| l.reg != reg);
+            if state.lrf.map(|l| l.reg == reg).unwrap_or(false) {
+                state.lrf = None;
+            }
+            state.pending.remove(&reg);
 
-                if instr.op.is_long_latency() {
-                    // The result arrives after the warp was descheduled and
-                    // is deposited directly in the MRF.
-                    counts.mrf_write += 1;
-                    state.pending.insert(reg);
-                } else if self.cfg.hw_lrf
-                    && instr.op.unit() == Unit::Alu
-                    && !self.shared_regs.contains(&reg)
-                {
-                    counts.lrf_write += 1;
-                    if let Some(old) = state.lrf.replace(Line {
-                        reg,
-                        dirty: true,
-                        dead: false,
-                    }) {
-                        if old.dirty && !old.dead {
-                            // LRF eviction moves the value into the RFC.
-                            counts.lrf_read += 1;
-                            counts.orf_write_private += 1;
-                            Self::fifo_insert(&self.cfg, counts, state, old.reg, true);
-                        }
-                    }
-                } else {
-                    if instr.op.unit().is_shared() {
-                        counts.orf_write_shared += 1;
-                    } else {
+            if instr.op.is_long_latency() {
+                // The result arrives after the warp was descheduled and
+                // is deposited directly in the MRF.
+                counts.mrf_write += 1;
+                state.pending.insert(reg);
+            } else if self.cfg.hw_lrf
+                && instr.op.unit() == Unit::Alu
+                && !self.shared_regs.contains(&reg)
+            {
+                counts.lrf_write += 1;
+                if let Some(old) = state.lrf.replace(Line {
+                    reg,
+                    dirty: true,
+                    dead: false,
+                }) {
+                    if old.dirty && !old.dead {
+                        // LRF eviction moves the value into the RFC.
+                        counts.lrf_read += 1;
                         counts.orf_write_private += 1;
+                        Self::fifo_insert(&self.cfg, counts, state, old.reg, true);
                     }
-                    Self::fifo_insert(&self.cfg, counts, state, reg, true);
                 }
+            } else {
+                if instr.op.unit().is_shared() {
+                    counts.orf_write_shared += 1;
+                } else {
+                    counts.orf_write_private += 1;
+                }
+                Self::fifo_insert(&self.cfg, counts, state, reg, true);
             }
         }
     }

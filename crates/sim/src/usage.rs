@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use rfh_isa::Width;
+use rfh_isa::AccessPlan;
 
 use crate::sink::{InstrEvent, TraceSink};
 
@@ -82,6 +82,7 @@ struct WarpTrack {
 #[derive(Debug, Default)]
 pub struct UsageStats {
     warps: HashMap<usize, WarpTrack>,
+    plan: AccessPlan,
     /// Read-count distribution over all produced values.
     pub reads: ReadHistogram,
     /// Lifetime distribution over read-once values.
@@ -122,35 +123,31 @@ impl TraceSink for UsageStats {
         let mut track = self.warps.remove(&event.warp).unwrap_or_default();
         track.step += 1;
         let step = track.step;
-        let instr = event.instr;
-        let shared = instr.op.unit().is_shared();
+        let shared = event.instr.op.unit().is_shared();
+        self.plan.resolve_into(event.instr);
 
-        let mut reads_to_note: Vec<u16> = Vec::new();
-        for (_, r) in instr.reg_srcs() {
-            reads_to_note.push(r.index());
-        }
-        for reg in reads_to_note {
-            if let Some(v) = track.values.get_mut(&reg) {
+        for a in self.plan.reads() {
+            if let Some(v) = track.values.get_mut(&a.reg.index()) {
                 v.reads += 1;
                 v.last_read_step = step;
                 v.any_shared_read |= shared;
             }
         }
 
-        if let Some(dst) = instr.dst {
-            // A 64-bit value is one value occupying two registers; track it
-            // on the root and overwrite-finalize both halves.
-            let mut finalized: Vec<ValueTrack> = Vec::new();
-            for r in dst.regs() {
-                if let Some(old) = track.values.remove(&r.index()) {
-                    finalized.push(old);
-                }
+        // A 64-bit value is one value occupying two registers; both written
+        // words get the same track and overwrite-finalize independently.
+        let mut finalized: Vec<ValueTrack> = Vec::new();
+        for r in self.plan.written_words() {
+            if let Some(old) = track.values.remove(&r.index()) {
+                finalized.push(old);
             }
-            for old in finalized {
-                self.finalize(old);
-            }
+        }
+        for old in finalized {
+            self.finalize(old);
+        }
+        for r in self.plan.written_words() {
             track.values.insert(
-                dst.reg.index(),
+                r.index(),
                 ValueTrack {
                     def_step: step,
                     reads: 0,
@@ -159,18 +156,6 @@ impl TraceSink for UsageStats {
                     produced_on_shared: shared,
                 },
             );
-            if dst.width == Width::W64 {
-                track.values.insert(
-                    dst.reg.pair_hi().index(),
-                    ValueTrack {
-                        def_step: step,
-                        reads: 0,
-                        last_read_step: step,
-                        any_shared_read: false,
-                        produced_on_shared: shared,
-                    },
-                );
-            }
         }
         self.warps.insert(event.warp, track);
     }

@@ -18,10 +18,14 @@ pub fn string(name: &str) -> Option<String> {
     std::env::var(name).ok()
 }
 
-/// Reads a `u64` knob (decimal or `0x`-prefixed hex), warning loudly on a
+/// Parses a raw integer string under the knob grammar (decimal or
+/// `0x`-prefixed hex, `_` separators allowed), warning loudly on a
 /// malformed value and falling back to `None`.
-pub fn u64_knob(name: &str) -> Option<u64> {
-    let raw = std::env::var(name).ok()?;
+///
+/// `what` names the source in the warning — an environment variable
+/// (`"RFH_JOBS"`) or a CLI flag (`"--jobs"`) — so command-line arguments
+/// parsed through this helper misbehave *identically* to env knobs.
+pub fn parse_u64(what: &str, raw: &str) -> Option<u64> {
     let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
         Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16),
         None => raw.replace('_', "").parse(),
@@ -30,7 +34,7 @@ pub fn u64_knob(name: &str) -> Option<u64> {
         Ok(v) => Some(v),
         Err(_) => {
             eprintln!(
-                "warning: {name}={raw:?} is not a valid integer (decimal or 0x-hex); \
+                "warning: {what}={raw:?} is not a valid integer (decimal or 0x-hex); \
                  falling back to the default"
             );
             None
@@ -38,14 +42,13 @@ pub fn u64_knob(name: &str) -> Option<u64> {
     }
 }
 
-/// Reads a `usize` knob, warning loudly on a malformed value and falling
-/// back to `None`.
-pub fn usize_knob(name: &str) -> Option<usize> {
-    u64_knob(name).and_then(|v| {
+/// [`parse_u64`] narrowed to `usize`, with the same loud-warning contract.
+pub fn parse_usize(what: &str, raw: &str) -> Option<usize> {
+    parse_u64(what, raw).and_then(|v| {
         usize::try_from(v)
             .map_err(|_| {
                 eprintln!(
-                    "warning: {name}={v} does not fit in usize; \
+                    "warning: {what}={v} does not fit in usize; \
                      falling back to the default"
                 );
             })
@@ -53,20 +56,41 @@ pub fn usize_knob(name: &str) -> Option<usize> {
     })
 }
 
-/// Reads a `usize` knob that must be at least 1 (worker counts, sample
-/// counts). Zero is malformed: it warns and falls back like any other bad
-/// value.
-pub fn positive_usize_knob(name: &str) -> Option<usize> {
-    match usize_knob(name) {
+/// [`parse_usize`] that additionally rejects zero (worker counts, sample
+/// counts), warning and falling back like any other bad value.
+pub fn parse_positive_usize(what: &str, raw: &str) -> Option<usize> {
+    match parse_usize(what, raw) {
         Some(0) => {
             eprintln!(
-                "warning: {name}=0 is not a valid count (must be >= 1); \
+                "warning: {what}=0 is not a valid count (must be >= 1); \
                  falling back to the default"
             );
             None
         }
         other => other,
     }
+}
+
+/// Reads a `u64` knob (decimal or `0x`-prefixed hex), warning loudly on a
+/// malformed value and falling back to `None`.
+pub fn u64_knob(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    parse_u64(name, &raw)
+}
+
+/// Reads a `usize` knob, warning loudly on a malformed value and falling
+/// back to `None`.
+pub fn usize_knob(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    parse_usize(name, &raw)
+}
+
+/// Reads a `usize` knob that must be at least 1 (worker counts, sample
+/// counts). Zero is malformed: it warns and falls back like any other bad
+/// value.
+pub fn positive_usize_knob(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    parse_positive_usize(name, &raw)
 }
 
 #[cfg(test)]
@@ -113,5 +137,15 @@ mod tests {
     fn string_passes_through() {
         std::env::set_var("RFH_TEST_ENV_STR", "/tmp/out.json");
         assert_eq!(string("RFH_TEST_ENV_STR"), Some("/tmp/out.json".into()));
+    }
+
+    #[test]
+    fn raw_parsers_share_the_knob_grammar() {
+        assert_eq!(parse_u64("--jobs", "8"), Some(8));
+        assert_eq!(parse_u64("--jobs", "0x1_0"), Some(16));
+        assert_eq!(parse_u64("--jobs", "eight"), None);
+        assert_eq!(parse_usize("--jobs", "4"), Some(4));
+        assert_eq!(parse_positive_usize("--jobs", "0"), None);
+        assert_eq!(parse_positive_usize("--jobs", "2"), Some(2));
     }
 }

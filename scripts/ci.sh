@@ -51,6 +51,23 @@ RFH_JOBS=2 ./target/release/lint_report > "$artifacts/lint_report.txt"
 cmp results/lint_report.txt "$artifacts/lint_report.txt"
 echo "lint report byte-identical under RFH_JOBS=2"
 
+echo "==> trace smoke + golden structured trace"
+# The structured trace exporter must be deterministic at any pool size:
+# `rfhc trace --json` over the golden kernel is byte-identical to the
+# committed golden under RFH_JOBS=1 and RFH_JOBS=8, and the per-strand
+# energy profile matches its golden too. Both regenerated artifacts stay
+# in target/ci-artifacts for inspection.
+RFH_JOBS=1 ./target/release/rfhc trace --json examples/trace_golden.rfasm \
+    > "$artifacts/trace_golden.jsonl" 2> /dev/null
+cmp results/trace_golden.jsonl "$artifacts/trace_golden.jsonl"
+RFH_JOBS=8 ./target/release/rfhc trace --json examples/trace_golden.rfasm \
+    > "$artifacts/trace_golden.jobs8.jsonl" 2> /dev/null
+cmp results/trace_golden.jsonl "$artifacts/trace_golden.jobs8.jsonl"
+RFH_JOBS=1 ./target/release/rfhc trace --profile examples/trace_golden.rfasm \
+    > "$artifacts/strand_profile_golden.txt" 2> /dev/null
+cmp results/strand_profile_golden.txt "$artifacts/strand_profile_golden.txt"
+echo "trace + strand profile byte-identical under RFH_JOBS=1 and RFH_JOBS=8"
+
 echo "==> panic gate (hardened crates)"
 # Non-test library code of the hardened crates must stay panic-free:
 # no .unwrap() / panic! / unreachable! / todo! outside #[cfg(test)]

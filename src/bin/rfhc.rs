@@ -3,19 +3,25 @@
 //! Reads a kernel in the textual assembly format, runs strand marking,
 //! liveness, and LRF/ORF/MRF allocation, and prints the annotated result
 //! (or plain text with only the strand bits via `--plain`). The `lint`
-//! subcommand runs the `rfh-lint` static analyzer instead of allocating.
+//! subcommand runs the `rfh-lint` static analyzer instead of allocating;
+//! the `trace` subcommand allocates, executes, and exports the structured
+//! instruction trace (JSON lines, Chrome trace, or the per-strand energy
+//! profile).
 //!
 //! ```text
 //! rfhc [--orf N] [--lrf none|unified|split] [--no-partial] [--no-readop]
-//!      [--plain] [--stats] <kernel.rfasm | ->
-//! rfhc lint [--orf N] [--lrf none|unified|split] [--json]
+//!      [--plain] [--stats] [--jobs N] <kernel.rfasm | ->
+//! rfhc lint [--orf N] [--lrf none|unified|split] [--json] [--jobs N]
 //!      <kernel.rfasm | ->
+//! rfhc trace [--orf N] [--lrf none|unified|split] [--no-partial]
+//!      [--no-readop] [--baseline] [--json | --chrome | --profile]
+//!      [--ctas N] [--threads N] [--jobs N] <kernel.rfasm | ->
 //! ```
 //!
 //! Exit codes are stable per error class (see `docs/ROBUSTNESS.md`):
 //! 0 success, 1 I/O, 2 usage, 3 parse error, 4 invalid kernel, 5 bad
-//! allocation config, 8 lint errors, 70 internal panic. `rfhc lint`
-//! exits 0 when only warnings were found.
+//! allocation config, 6 execution error, 8 lint errors, 70 internal
+//! panic. `rfhc lint` exits 0 when only warnings were found.
 
 use std::io::Read;
 use std::process::exit;
@@ -25,11 +31,26 @@ use rfh::energy::EnergyModel;
 use rfh::{RfhError, EXIT_INTERNAL_PANIC};
 
 const USAGE: &str = "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-partial] \
-     [--no-readop] [--plain] [--stats] <kernel.rfasm | ->\n\
-       rfhc lint [--orf N] [--lrf none|unified|split] [--json] <kernel.rfasm | ->";
+     [--no-readop] [--plain] [--stats] [--jobs N] <kernel.rfasm | ->\n\
+       rfhc lint [--orf N] [--lrf none|unified|split] [--json] [--jobs N] \
+     <kernel.rfasm | ->\n\
+       rfhc trace [--orf N] [--lrf none|unified|split] [--no-partial] [--no-readop] \
+     [--baseline]\n\
+             [--json | --chrome | --profile] [--ctas N] [--threads N] [--jobs N] \
+     <kernel.rfasm | ->";
 
 fn usage(msg: &str) -> RfhError {
     RfhError::Usage(format!("{msg}\n{USAGE}"))
+}
+
+/// Applies `--jobs N`: overrides the `RFH_JOBS` pool knob for the rest of
+/// the process. Parsed through the shared knob grammar, so a malformed
+/// value warns loudly on stderr and falls back (exactly like a malformed
+/// `RFH_JOBS` env var) instead of inventing a third behavior.
+fn set_jobs(raw: &str) {
+    if let Some(n) = rfh_testkit::env::parse_positive_usize("--jobs", raw) {
+        std::env::set_var("RFH_JOBS", n.to_string());
+    }
 }
 
 fn main() {
@@ -55,6 +76,10 @@ fn real_main() -> Result<(), RfhError> {
     if args.peek().map(String::as_str) == Some("lint") {
         args.next();
         return lint_main(args);
+    }
+    if args.peek().map(String::as_str) == Some("trace") {
+        args.next();
+        return trace_main(args);
     }
 
     let mut config = AllocConfig::three_level(3, true);
@@ -85,6 +110,7 @@ fn real_main() -> Result<(), RfhError> {
             "--no-readop" => config.read_operands = false,
             "--plain" => plain = true,
             "--stats" => stats_only = true,
+            "--jobs" => set_jobs(&args.next().ok_or_else(|| usage("--jobs needs a value"))?),
             "--help" | "-h" => return Err(usage("")),
             "-" if input.is_none() => input = Some("-".into()),
             other if input.is_none() && !other.starts_with('-') => input = Some(other.into()),
@@ -153,6 +179,7 @@ fn lint_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Res
                 }
             }
             "--json" => json = true,
+            "--jobs" => set_jobs(&args.next().ok_or_else(|| usage("--jobs needs a value"))?),
             "--help" | "-h" => return Err(usage("")),
             "-" if input.is_none() => input = Some("-".into()),
             other if input.is_none() && !other.starts_with('-') => input = Some(other.into()),
@@ -187,6 +214,114 @@ fn lint_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Res
     if errors > 0 {
         return Err(RfhError::Lint { errors });
     }
+    Ok(())
+}
+
+/// Output format of `rfhc trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Json,
+    Chrome,
+    Profile,
+}
+
+/// The `rfhc trace` subcommand: parse, allocate (unless `--baseline`),
+/// execute, and export the structured trace.
+///
+/// The trace goes to stdout in the selected format (JSON lines by
+/// default); a one-line summary goes to stderr. The whole observer stack
+/// — exporter, per-strand energy profiler, access counter — hangs off one
+/// `FanoutSink`, so the executor sees a single sink.
+fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Result<(), RfhError> {
+    let mut config = AllocConfig::three_level(3, true);
+    let mut baseline = false;
+    let mut format = TraceFormat::Json;
+    let mut ctas: usize = 1;
+    let mut threads: usize = 64;
+    let mut input: Option<String> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--orf" => {
+                let n = args.next().ok_or_else(|| usage("--orf needs a value"))?;
+                config.orf_entries = n
+                    .parse()
+                    .map_err(|_| usage("--orf needs an integer value"))?;
+                if config.orf_entries > 8 {
+                    return Err(usage("ORF sizes beyond 8 entries have no energy model"));
+                }
+            }
+            "--lrf" => {
+                config.lrf = match args.next().as_deref() {
+                    Some("none") => LrfMode::None,
+                    Some("unified") => LrfMode::Unified,
+                    Some("split") => LrfMode::Split,
+                    _ => return Err(usage("--lrf needs none|unified|split")),
+                }
+            }
+            "--no-partial" => config.partial_ranges = false,
+            "--no-readop" => config.read_operands = false,
+            "--baseline" => baseline = true,
+            "--json" => format = TraceFormat::Json,
+            "--chrome" => format = TraceFormat::Chrome,
+            "--profile" => format = TraceFormat::Profile,
+            "--ctas" => {
+                ctas = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| usage("--ctas needs a positive integer"))?;
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| usage("--threads needs a positive integer"))?;
+            }
+            "--jobs" => set_jobs(&args.next().ok_or_else(|| usage("--jobs needs a value"))?),
+            "--help" | "-h" => return Err(usage("")),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.into()),
+            other => return Err(usage(&format!("unrecognized argument `{other}`"))),
+        }
+    }
+    let path = input.ok_or_else(|| usage("no input file"))?;
+    let text = read_input(&path)?;
+
+    let mut kernel = rfh::isa::parse_kernel(&text)?;
+    let mode = if baseline {
+        rfh::isa::validate(&kernel)?;
+        rfh::sim::ExecMode::Baseline
+    } else {
+        allocate(&mut kernel, &config, &EnergyModel::paper())?;
+        rfh::sim::ExecMode::Hierarchy(config)
+    };
+
+    let mut exporter = rfh::sim::TraceExporter::new(&kernel);
+    let mut profiler =
+        rfh::sim::EnergyProfiler::new(&kernel, EnergyModel::paper(), config.orf_entries);
+    let mut counter = rfh::sim::SwCounter::default();
+    let mut fan = rfh::sim::FanoutSink::new()
+        .with(&mut exporter)
+        .with(&mut profiler)
+        .with(&mut counter);
+
+    let launch = rfh::sim::Launch::new(ctas, threads);
+    let mut mem = rfh::sim::GlobalMemory::new(1 << 16);
+    rfh::sim::execute(&kernel, &launch, &mut mem, mode, &mut [&mut fan])?;
+
+    match format {
+        TraceFormat::Json => print!("{}", exporter.json_lines()),
+        TraceFormat::Chrome => print!("{}", exporter.chrome_trace()),
+        TraceFormat::Profile => print!("{}", profiler.render()),
+    }
+    eprintln!(
+        "rfhc trace: {} — {} strand(s), total energy {:.3} pJ",
+        exporter.summary(),
+        profiler.per_strand().len(),
+        profiler.total_energy().total()
+    );
     Ok(())
 }
 

@@ -1,0 +1,159 @@
+//! Differential proof that the canonical access-resolution layer
+//! ([`rfh::isa::AccessPlan`]) preserves the pre-refactor counting rules.
+//!
+//! `LegacySwCounter` below is a frozen replica of `SwCounter` as it stood
+//! before every consumer was rebased onto `AccessPlan`: it hand-matches
+//! `read_locs` / `write_loc` with the original rules (one read per
+//! register source at its annotated level, `MrfFillOrf` adds a private
+//! ORF write, W64 destinations cost two accesses at every level written,
+//! ORF traffic split by datapath). The property test drives both counters
+//! over the same executions of random kernels under random hierarchy
+//! shapes and requires identical totals.
+
+use rfh_testkit::prelude::*;
+
+use rfh::alloc::AllocConfig;
+use rfh::energy::AccessCounts;
+use rfh::isa::{ReadLoc, Width, WriteLoc};
+use rfh::sim::exec::{execute, ExecMode, Launch};
+use rfh::sim::sink::{InstrEvent, TraceSink};
+use rfh::sim::SwCounter;
+use rfh::workloads::generator::{random_program, GenConfig};
+
+/// The pre-refactor `SwCounter`, preserved verbatim as the oracle.
+#[derive(Debug, Default)]
+struct LegacySwCounter {
+    counts: AccessCounts,
+}
+
+impl TraceSink for LegacySwCounter {
+    fn on_instr(&mut self, event: &InstrEvent<'_>) {
+        let instr = event.instr;
+        let shared = instr.op.unit().is_shared();
+        for (slot, src) in instr.srcs.iter().enumerate() {
+            if !src.is_reg() {
+                continue;
+            }
+            match instr.read_locs[slot] {
+                ReadLoc::Mrf => self.counts.mrf_read += 1,
+                ReadLoc::MrfFillOrf(_) => {
+                    self.counts.mrf_read += 1;
+                    self.counts.orf_write_private += 1;
+                }
+                ReadLoc::Orf(_) => {
+                    if shared {
+                        self.counts.orf_read_shared += 1;
+                    } else {
+                        self.counts.orf_read_private += 1;
+                    }
+                }
+                ReadLoc::Lrf(_) => self.counts.lrf_read += 1,
+            }
+        }
+        if let Some(dst) = instr.dst {
+            let w = u64::from(dst.width == Width::W64) + 1;
+            match instr.write_loc {
+                WriteLoc::Mrf => self.counts.mrf_write += w,
+                WriteLoc::Orf { also_mrf, .. } => {
+                    if shared {
+                        self.counts.orf_write_shared += w;
+                    } else {
+                        self.counts.orf_write_private += w;
+                    }
+                    if also_mrf {
+                        self.counts.mrf_write += w;
+                    }
+                }
+                WriteLoc::Lrf { also_mrf, .. } => {
+                    self.counts.lrf_write += w;
+                    if also_mrf {
+                        self.counts.mrf_write += w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = AllocConfig> {
+    (1usize..=8, 0u8..3, any::<bool>(), any::<bool>()).prop_map(|(entries, lrf, pr, ro)| {
+        let mut cfg = match lrf {
+            0 => AllocConfig::two_level(entries),
+            1 => AllocConfig::three_level(entries, false),
+            _ => AllocConfig::three_level(entries, true),
+        };
+        cfg.partial_ranges = pr;
+        cfg.read_operands = ro;
+        cfg
+    })
+}
+
+fn arb_shape() -> impl Strategy<Value = GenConfig> {
+    (2usize..10, 2usize..8, 1i32..6, 4u16..10).prop_map(|(segments, run_len, max_trips, pool)| {
+        GenConfig {
+            segments,
+            run_len,
+            max_trips,
+            pool,
+        }
+    })
+}
+
+/// Executes `kernel` once with both counters observing the same stream
+/// and returns `(plan-driven, legacy)` totals.
+fn count_both(
+    kernel: &rfh::isa::Kernel,
+    launch: &Launch,
+    mem: &mut rfh::sim::GlobalMemory,
+    mode: ExecMode,
+) -> (AccessCounts, AccessCounts) {
+    let mut new = SwCounter::default();
+    let mut old = LegacySwCounter::default();
+    execute(kernel, launch, mem, mode, &mut [&mut new, &mut old]).unwrap();
+    (new.counts(), old.counts)
+}
+
+prop! {
+    #![config(cases = 64)]
+
+    /// Plan-driven counting equals the frozen pre-refactor rules on
+    /// arbitrary baseline (all-MRF) kernels.
+    fn plan_counts_match_legacy_baseline(seed in 0u64..5000, shape in arb_shape()) {
+        let (kernel, launch, mut mem) = random_program(seed, shape);
+        let (new, old) = count_both(&kernel, &launch, &mut mem, ExecMode::Baseline);
+        prop_assert_eq!(new, old);
+    }
+
+    /// Plan-driven counting equals the frozen pre-refactor rules on
+    /// allocated kernels under arbitrary hierarchy shapes, where fills,
+    /// datapath splits, and W64 double-costing all come into play.
+    fn plan_counts_match_legacy_allocated(
+        seed in 0u64..5000,
+        cfg in arb_config(),
+        shape in arb_shape(),
+    ) {
+        let (mut kernel, launch, mut mem) = random_program(seed, shape);
+        rfh::alloc::allocate(&mut kernel, &cfg, &rfh::energy::EnergyModel::paper()).unwrap();
+        let (new, old) = count_both(&kernel, &launch, &mut mem, ExecMode::Hierarchy(cfg));
+        prop_assert_eq!(new, old);
+    }
+}
+
+/// The curated paper workloads, both baseline and allocated under the
+/// paper's default configuration — a deterministic anchor alongside the
+/// random sweep above.
+#[test]
+fn plan_counts_match_legacy_on_paper_workloads() {
+    for w in rfh::workloads::all() {
+        let mut mem = w.memory.clone();
+        let (new, old) = count_both(&w.kernel, &w.launch, &mut mem, ExecMode::Baseline);
+        assert_eq!(new, old, "baseline counts diverged on {}", w.name);
+
+        let cfg = AllocConfig::default();
+        let mut kernel = w.kernel.clone();
+        rfh::alloc::allocate(&mut kernel, &cfg, &rfh::energy::EnergyModel::paper()).unwrap();
+        let mut mem = w.memory.clone();
+        let (new, old) = count_both(&kernel, &w.launch, &mut mem, ExecMode::Hierarchy(cfg));
+        assert_eq!(new, old, "allocated counts diverged on {}", w.name);
+    }
+}

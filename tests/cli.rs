@@ -187,6 +187,136 @@ fn lint_rejects_malformed_input_with_the_parse_exit_code() {
     assert_eq!(out.status.code(), Some(3), "parse errors exit 3 under lint");
 }
 
+/// `rfhc trace` executes the kernel, and its launch carries no kernel
+/// parameters — the trace tests use a param-free kernel.
+const TRACE_KERNEL: &str = "
+.kernel tally
+BB0:
+  mov r0, %tid.x
+  ld.global r1 r0
+  iadd r2 r1, 7
+  imul r3 r2, r2
+  iadd r4 r3, r1
+  st.global r0, r4
+  exit
+";
+
+fn rfhc_stdin_env(args: &[&str], stdin: &str, env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rfhc"));
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn rfhc");
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    child.wait_with_output().expect("wait rfhc")
+}
+
+#[test]
+fn trace_json_is_one_object_per_line() {
+    let out = rfhc_stdin(&["trace", "-"], TRACE_KERNEL);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.is_empty(), "trace records on stdout");
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with("{\"seq\":") && line.ends_with('}'),
+            "stable JSON-lines shape: {line}"
+        );
+    }
+    assert!(stdout.contains("\"accesses\":["), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rfhc trace:"),
+        "summary on stderr: {stderr}"
+    );
+    assert!(stderr.contains("strand(s)"), "{stderr}");
+}
+
+#[test]
+fn trace_chrome_is_a_single_trace_object() {
+    let out = rfhc_stdin(&["trace", "--chrome", "-"], TRACE_KERNEL);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"traceEvents\":["), "{stdout}");
+    assert!(stdout.contains("\"ph\":\"X\""), "{stdout}");
+}
+
+#[test]
+fn trace_profile_renders_the_strand_table() {
+    let out = rfhc_stdin(&["trace", "--profile", "-"], TRACE_KERNEL);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("# per-strand energy attribution"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\ntotal\t"), "totals row: {stdout}");
+    assert!(stdout.trim_end().ends_with("1.0000"), "{stdout}");
+}
+
+#[test]
+fn trace_baseline_mode_traces_the_unallocated_kernel() {
+    let out = rfhc_stdin(&["trace", "--baseline", "-"], TRACE_KERNEL);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // A baseline trace never touches the upper levels.
+    assert!(!stdout.contains("ORF"), "{stdout}");
+    assert!(!stdout.contains("LRF"), "{stdout}");
+}
+
+#[test]
+fn trace_json_is_byte_identical_at_any_job_count() {
+    let one = rfhc_stdin_env(&["trace", "-"], TRACE_KERNEL, &[("RFH_JOBS", "1")]);
+    let eight = rfhc_stdin_env(&["trace", "-"], TRACE_KERNEL, &[("RFH_JOBS", "8")]);
+    assert_eq!(one.status.code(), Some(0), "{one:?}");
+    assert_eq!(eight.status.code(), Some(0), "{eight:?}");
+    assert_eq!(
+        one.stdout, eight.stdout,
+        "trace output must not depend on the worker-pool size"
+    );
+}
+
+#[test]
+fn jobs_flag_overrides_the_env_knob() {
+    // A valid --jobs wins over a malformed RFH_JOBS: no warning, clean run.
+    let out = rfhc_stdin_env(
+        &["trace", "--jobs", "2", "-"],
+        TRACE_KERNEL,
+        &[("RFH_JOBS", "not-a-number")],
+    );
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("warning:"), "{stderr}");
+}
+
+#[test]
+fn malformed_jobs_flag_warns_like_the_env_knob() {
+    let out = rfhc_stdin(&["--jobs", "nope", "--stats", "-"], TRACE_KERNEL);
+    assert_eq!(out.status.code(), Some(0), "malformed --jobs falls back");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: --jobs=\"nope\" is not a valid integer"),
+        "knob-grammar warning on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn jobs_flag_without_a_value_is_a_usage_error() {
+    // The process exits before reading stdin, so none is supplied.
+    let out = rfhc(&["--stats", "-", "--jobs"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs needs a value"));
+}
+
 #[test]
 fn config_flags_change_the_allocation() {
     // With a 2-entry ORF and no LRF the stats line must reflect the
