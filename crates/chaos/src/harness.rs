@@ -26,7 +26,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use rfh_alloc::{allocate, validate_placements, AllocConfig};
 use rfh_energy::EnergyModel;
 use rfh_isa::Kernel;
-use rfh_sim::exec::{execute_with, ExecMode};
+use rfh_sim::counts::SwCounter;
+use rfh_sim::exec::{execute_with, execute_with_engine, Engine, ExecMode};
 use rfh_sim::machine::MachineConfig;
 use rfh_testkit::pool::par_map;
 use rfh_testkit::prelude::*;
@@ -191,6 +192,69 @@ fn differential(mutant: &Kernel, cfg: &AllocConfig, w: &Workload) -> Result<Case
         (Err(_), Err(_)) => Ok(CaseOutcome::Structured),
         (Ok(_), Err(e)) => Err(format!("hierarchy-only failure on a validated mutant: {e}")),
         (Err(e), Ok(_)) => Err(format!("baseline-only failure on a validated mutant: {e}")),
+    }
+}
+
+/// Differential check between the two *executor engines* on the same
+/// (possibly corrupted) kernel: the warp-batched SoA engine and the frozen
+/// reference interpreter must meet exactly the same fate — identical
+/// report, access counts, and memory image on acceptance, or the very same
+/// structured error on rejection. Any asymmetry is an engine bug, not a
+/// property of the mutant.
+fn engine_differential(
+    mutant: &Kernel,
+    mode: ExecMode,
+    w: &Workload,
+    machine: &MachineConfig,
+) -> Result<CaseOutcome, String> {
+    let run = |engine: Engine| {
+        let mut mem = w.memory.clone();
+        let mut counter = SwCounter::default();
+        let result = execute_with_engine(
+            mutant,
+            &w.launch,
+            &mut mem,
+            mode,
+            machine,
+            engine,
+            &mut [&mut counter],
+        );
+        (result, counter.counts(), mem)
+    };
+    let (soa, soa_counts, soa_mem) = run(Engine::Soa);
+    let (oracle, oracle_counts, oracle_mem) = run(Engine::Reference);
+    match (soa, oracle) {
+        (Ok(a), Ok(b)) => {
+            if a != b {
+                Err(format!(
+                    "engines accepted the mutant with different reports: soa {a:?} vs reference {b:?}"
+                ))
+            } else if soa_counts != oracle_counts {
+                Err(format!(
+                    "engines accepted the mutant with different access counts: \
+                     soa {soa_counts:?} vs reference {oracle_counts:?}"
+                ))
+            } else if soa_mem.words() != oracle_mem.words() {
+                Err("engines accepted the mutant with different memory images".into())
+            } else {
+                Ok(CaseOutcome::Identical)
+            }
+        }
+        (Err(a), Err(b)) => {
+            if a == b {
+                Ok(CaseOutcome::Structured)
+            } else {
+                Err(format!(
+                    "engines rejected the mutant with different errors: soa `{a}` vs reference `{b}`"
+                ))
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!(
+            "reference-only failure on a mutant the SoA engine accepted: {e}"
+        )),
+        (Err(e), Ok(_)) => Err(format!(
+            "SoA-only failure on a mutant the reference engine accepted: {e}"
+        )),
     }
 }
 
@@ -396,4 +460,55 @@ pub fn run_place_layer(
         }))
     });
     fold_cases(&seeds, outcomes, "placement")
+}
+
+/// Fuzzes the *executor pair* with structural IR corruptions (executed
+/// unallocated in baseline mode) and placement corruptions on an
+/// allocated clone (executed hierarchy-faithfully): every structurally
+/// valid mutant must land in the same accept/reject class on the SoA
+/// engine and the frozen reference oracle, with bit-identical state
+/// (report, access counts, memory image) on acceptance and the identical
+/// structured error on rejection.
+///
+/// # Errors
+///
+/// Returns a replayable description of the first engine asymmetry: a
+/// panic, a mutant one engine accepts and the other rejects, or an
+/// accepted mutant whose observable state differs between engines.
+pub fn run_exec_differential_layer(
+    w: &Workload,
+    cfg: &AllocConfig,
+    cases: usize,
+    base_seed: u64,
+) -> Result<ChaosReport, String> {
+    let mut allocated = w.kernel.clone();
+    allocate(&mut allocated, cfg, &EnergyModel::paper())
+        .map_err(|e| format!("seed kernel failed to allocate: {e}"))?;
+    let machine = bounded_machine();
+    let seeds = case_seeds(base_seed, cases);
+    let outcomes = par_map(&seeds, |&seed| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Alternate mutant flavors so both engine frontends get
+            // exercised: raw IR damage on the unallocated kernel, and
+            // placement damage on the allocated one.
+            let (mutant, mode, pristine) = if rng.gen() {
+                let mut m = w.kernel.clone();
+                ir::mutate_kernel(&mut m, &mut rng);
+                (m, ExecMode::Baseline, &w.kernel)
+            } else {
+                let mut m = allocated.clone();
+                place::mutate_placements(&mut m, cfg.orf_entries, &mut rng);
+                (m, ExecMode::Hierarchy(*cfg), &allocated)
+            };
+            if mutant == *pristine {
+                return Ok(CaseOutcome::Unchanged);
+            }
+            if rfh_isa::validate(&mutant).is_err() {
+                return Ok(CaseOutcome::Rejected);
+            }
+            engine_differential(&mutant, mode, w, &machine)
+        }))
+    });
+    fold_cases(&seeds, outcomes, "exec-differential")
 }

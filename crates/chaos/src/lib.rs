@@ -29,6 +29,14 @@
 //! soundness: every mutant lint does **not** flag with an error must
 //! execute and validate cleanly under the differential contract.
 //!
+//! A fifth layer ([`harness::run_exec_differential_layer`]) points the
+//! same IR and placement mutants at the *executor pair*: the warp-batched
+//! SoA engine and the frozen reference interpreter must land every
+//! structurally valid mutant in the same accept/reject class, with
+//! bit-identical state on acceptance and the identical structured error
+//! on rejection — so engine conformance is fuzzed with hostile inputs,
+//! not just well-formed programs.
+//!
 //! Every case derives its RNG seed from a base seed via SplitMix64, so a
 //! failure report pinpoints one replayable case. Set `RFH_TESTKIT_SEED`
 //! to override the base seed and `RFH_CHAOS_CASES` to scale the case
@@ -41,6 +49,6 @@ pub mod ir;
 pub mod place;
 
 pub use harness::{
-    cases_from_env, run_byte_layer, run_ir_layer, run_lint_layer, run_place_layer, seed_from_env,
-    ChaosReport,
+    cases_from_env, run_byte_layer, run_exec_differential_layer, run_ir_layer, run_lint_layer,
+    run_place_layer, seed_from_env, ChaosReport,
 };

@@ -10,7 +10,8 @@
 
 use rfh_alloc::AllocConfig;
 use rfh_chaos::{
-    cases_from_env, run_byte_layer, run_ir_layer, run_lint_layer, run_place_layer, seed_from_env,
+    cases_from_env, run_byte_layer, run_exec_differential_layer, run_ir_layer, run_lint_layer,
+    run_place_layer, seed_from_env,
 };
 use rfh_workloads::Workload;
 
@@ -135,6 +136,43 @@ fn lint_layer_soundness_holds_on_a_barrier_kernel() {
     .expect("lint soundness violated on the barrier kernel");
     assert_eq!(report.cases, cases, "{report}");
     assert!(report.flagged > 0, "{report}");
+}
+
+#[test]
+fn exec_differential_layer_holds() {
+    let cases = cases_from_env(1000);
+    let report = run_exec_differential_layer(
+        &workload("vectoradd"),
+        &cfg(),
+        cases,
+        seed_from_env(0xE7EC_0007),
+    )
+    .expect("executor engines diverged on a mutant");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(
+        report.identical > 0,
+        "benign mutants should run identically on both engines: {report}"
+    );
+    assert!(
+        report.rejected > 0,
+        "structural damage should trip the shared validator: {report}"
+    );
+}
+
+#[test]
+fn exec_differential_layer_holds_on_a_divergent_kernel() {
+    // Mandelbrot's data-dependent loop exit is the hardest control-flow
+    // shape: mutants perturb reconvergence and guard structure directly.
+    let cases = cases_from_env(1000).min(500);
+    let report = run_exec_differential_layer(
+        &workload("mandelbrot"),
+        &AllocConfig::two_level(3),
+        cases,
+        seed_from_env(0xE7EC_0008),
+    )
+    .expect("executor engines diverged on a divergent-kernel mutant");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(report.identical + report.structured > 0, "{report}");
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--csv <dir>] [--bench-json <path>] [--jobs N] [experiment...]
+//! repro [--csv <dir>] [--bench-json <path>] [--exec-bench-json <path>]
+//!       [--jobs N] [experiment...]
 //!
 //! experiments:
 //!   table1 table2 table3 table4   the paper's input tables
@@ -16,7 +17,8 @@
 //!   limit                         §7 limit study
 //!   ablation                      design-choice ablations
 //!   characterize                  workload characterization table
-//!   all                           everything (default)
+//!   exec-bench                    executor throughput, SoA vs reference
+//!   all                           everything except exec-bench (default)
 //! ```
 //!
 //! All experiments share one [`ExperimentCtx`], so baselines, allocated
@@ -27,12 +29,20 @@
 //!
 //! `--bench-json <path>` writes per-experiment wall times as JSON
 //! (schema `rfh-repro-bench-v1`).
+//!
+//! `exec-bench` is the one experiment excluded from `all`: it reports
+//! wall-clock executor throughput (SoA engine vs the frozen reference
+//! oracle), which is machine-dependent, and `repro all` output must stay
+//! byte-identical across runs for the determinism tests.
+//! `--exec-bench-json <path>` additionally writes its result as JSON
+//! (schema `rfh-exec-bench-v1`); `RFH_EXEC_BENCH_REPS` overrides the
+//! timed repetition count (default 5).
 
 use std::time::Instant;
 
 use rfh_experiments::{
-    ablation, characterize, encoding, fig11, fig12, fig13, fig14, fig15, fig2, limit, perf, tables,
-    ExperimentCtx,
+    ablation, characterize, encoding, exec_bench, fig11, fig12, fig13, fig14, fig15, fig2, limit,
+    perf, tables, ExperimentCtx,
 };
 
 /// Extracts `--flag <value>` from `args`, removing both tokens.
@@ -53,6 +63,8 @@ fn main() {
     let csv_dir = take_flag(&mut args, "--csv");
     // `--bench-json <path>` records per-experiment wall times.
     let bench_json = take_flag(&mut args, "--bench-json");
+    // `--exec-bench-json <path>` records the exec-bench result as JSON.
+    let exec_bench_json = take_flag(&mut args, "--exec-bench-json");
     // `--jobs N` overrides the `RFH_JOBS` pool knob; it shares the knob
     // parser, so a malformed value warns loudly and falls back instead of
     // silently diverging from the env-var behavior.
@@ -170,6 +182,17 @@ fn main() {
                 let r = characterize::run(&ctx);
                 write_csv("characterize", rfh_experiments::csv::characterize_csv(&r));
                 characterize::print(&r)
+            }
+            "exec-bench" => {
+                let reps = rfh_testkit::env::usize_knob("RFH_EXEC_BENCH_REPS")
+                    .unwrap_or(5)
+                    .max(1);
+                let b = exec_bench::run(&workloads, reps);
+                if let Some(path) = &exec_bench_json {
+                    std::fs::write(path, exec_bench::json(&b)).expect("write exec-bench json");
+                    eprintln!("[wrote {path}]");
+                }
+                exec_bench::print(&b)
             }
             other => {
                 eprintln!("unknown experiment `{other}` (try: repro all)");

@@ -1,0 +1,217 @@
+//! Executor throughput: warp instructions per second of the warp-batched
+//! SoA engine against the frozen reference interpreter.
+//!
+//! Both engines run the full workload suite — every kernel unallocated in
+//! baseline mode and allocated (three-level, 3 entries, split LRF) in
+//! hierarchy-faithful mode — with a live [`SwCounter`] sink attached, so
+//! the measurement covers the whole per-instruction pipeline each engine
+//! actually drives: operand fetch, ALU/memory dispatch, fill deposit, and
+//! event emission with a resolved access plan. One untimed warm-up pass
+//! precedes the timed repetitions.
+//!
+//! Timings are wall-clock and machine-dependent, so this experiment is
+//! *not* part of `repro all` (whose stdout is diffed byte-for-byte by the
+//! determinism tests); it has its own `repro exec-bench` arm and JSON
+//! schema (`rfh-exec-bench-v1`), with history committed as
+//! `BENCH_exec.json`.
+
+use std::time::Instant;
+
+use rfh_alloc::{allocate, AllocConfig};
+use rfh_energy::EnergyModel;
+use rfh_isa::Kernel;
+use rfh_sim::counts::SwCounter;
+use rfh_sim::exec::{execute_with_engine, Engine, ExecMode};
+use rfh_sim::machine::MachineConfig;
+use rfh_workloads::Workload;
+
+/// One engine's aggregate measurement over all repetitions.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineBench {
+    /// Which engine ran.
+    pub engine: Engine,
+    /// Warp instructions executed across all timed repetitions.
+    pub warp_instructions: u64,
+    /// Wall-clock seconds for all timed repetitions.
+    pub seconds: f64,
+}
+
+impl EngineBench {
+    /// Warp instructions per second.
+    pub fn instrs_per_sec(&self) -> f64 {
+        self.warp_instructions as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// The benchmark result: one [`EngineBench`] per engine, SoA first.
+#[derive(Debug, Clone)]
+pub struct ExecBench {
+    /// Timed repetitions per engine (after one warm-up pass).
+    pub reps: usize,
+    /// Number of workloads in the suite.
+    pub workloads: usize,
+    /// Per-engine measurements, in [`Engine::Soa`], [`Engine::Reference`]
+    /// order.
+    pub engines: Vec<EngineBench>,
+}
+
+impl ExecBench {
+    /// SoA throughput over reference throughput.
+    pub fn speedup(&self) -> f64 {
+        let ips = |e: Engine| {
+            self.engines
+                .iter()
+                .find(|b| b.engine == e)
+                .map(EngineBench::instrs_per_sec)
+                .unwrap_or(0.0)
+        };
+        ips(Engine::Soa) / ips(Engine::Reference).max(1e-12)
+    }
+}
+
+/// The benchmark's execution matrix: every workload in baseline mode
+/// (unallocated) and hierarchy-faithful mode (allocated under the paper's
+/// best three-level shape).
+fn cases(workloads: &[Workload]) -> Vec<(usize, Kernel, ExecMode)> {
+    let cfg = AllocConfig::three_level(3, true);
+    let mut v = Vec::with_capacity(2 * workloads.len());
+    for (i, w) in workloads.iter().enumerate() {
+        v.push((i, w.kernel.clone(), ExecMode::Baseline));
+        let mut allocated = w.kernel.clone();
+        allocate(&mut allocated, &cfg, &EnergyModel::paper())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        v.push((i, allocated, ExecMode::Hierarchy(cfg)));
+    }
+    v
+}
+
+fn one_pass(
+    engine: Engine,
+    workloads: &[Workload],
+    matrix: &[(usize, Kernel, ExecMode)],
+    machine: &MachineConfig,
+) -> u64 {
+    let mut instrs = 0;
+    for (i, kernel, mode) in matrix {
+        let w = &workloads[*i];
+        let mut mem = w.memory.clone();
+        let mut counter = SwCounter::default();
+        let report = execute_with_engine(
+            kernel,
+            &w.launch,
+            &mut mem,
+            *mode,
+            machine,
+            engine,
+            &mut [&mut counter],
+        )
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, engine.name()));
+        instrs += report.warp_instructions;
+    }
+    instrs
+}
+
+/// Runs the benchmark: for each engine, one warm-up pass over the matrix,
+/// then `reps` timed passes.
+///
+/// # Panics
+///
+/// Panics if any workload fails to allocate or execute.
+pub fn run(workloads: &[Workload], reps: usize) -> ExecBench {
+    let machine = MachineConfig::paper();
+    let matrix = cases(workloads);
+    let engines = [Engine::Soa, Engine::Reference]
+        .into_iter()
+        .map(|engine| {
+            one_pass(engine, workloads, &matrix, &machine);
+            let start = Instant::now();
+            let mut warp_instructions = 0;
+            for _ in 0..reps {
+                warp_instructions += one_pass(engine, workloads, &matrix, &machine);
+            }
+            EngineBench {
+                engine,
+                warp_instructions,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+    ExecBench {
+        reps,
+        workloads: workloads.len(),
+        engines,
+    }
+}
+
+/// Renders the result as a small human-readable table plus the speedup.
+pub fn print(b: &ExecBench) -> String {
+    let mut out = format!(
+        "# executor throughput ({} workloads x 2 modes, {} reps)\n\
+         engine\twarp instrs\tseconds\tMinstr/s\n",
+        b.workloads, b.reps
+    );
+    for e in &b.engines {
+        out.push_str(&format!(
+            "{}\t{}\t{:.3}\t{:.2}\n",
+            e.engine.name(),
+            e.warp_instructions,
+            e.seconds,
+            e.instrs_per_sec() / 1e6
+        ));
+    }
+    out.push_str(&format!("speedup (soa/reference): {:.2}x\n", b.speedup()));
+    out
+}
+
+/// Serializes the result in the `rfh-exec-bench-v1` schema.
+pub fn json(b: &ExecBench) -> String {
+    let engines: Vec<String> = b
+        .engines
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"engine\": \"{}\", \"warp_instructions\": {}, \
+                 \"seconds\": {:.3}, \"instructions_per_second\": {:.0}}}",
+                e.engine.name(),
+                e.warp_instructions,
+                e.seconds,
+                e.instrs_per_sec()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"rfh-exec-bench-v1\",\n  \"workloads\": {},\n  \
+         \"reps\": {},\n  \"speedup\": {:.3},\n  \"engines\": [\n{}\n  ]\n}}\n",
+        b.workloads,
+        b.reps,
+        b.speedup(),
+        engines.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_serializes() {
+        // One reduced-suite rep: checks plumbing, not performance.
+        let workloads: Vec<Workload> = ["vectoradd", "reduction"]
+            .iter()
+            .map(|n| rfh_workloads::by_name(n).expect("known workload"))
+            .collect();
+        let b = run(&workloads, 1);
+        assert_eq!(b.engines.len(), 2);
+        assert_eq!(
+            b.engines[0].warp_instructions, b.engines[1].warp_instructions,
+            "both engines must execute the identical instruction stream"
+        );
+        assert!(b.engines[0].warp_instructions > 0);
+        let text = print(&b);
+        assert!(text.contains("speedup"));
+        let j = json(&b);
+        assert!(j.contains("\"schema\": \"rfh-exec-bench-v1\""));
+        assert!(j.contains("\"engine\": \"soa\""));
+        assert!(j.contains("\"engine\": \"reference\""));
+    }
+}

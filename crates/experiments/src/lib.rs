@@ -21,6 +21,7 @@
 //! | [`limit`] | §7: ideal bounds, variable ORF, backward branches, scheduling |
 //! | [`ablation`] | design-choice ablations (optimizations, LRF shape, priority, RFC policy) |
 //! | [`characterize`] | workload characterization (instruction mix, divergence, strands) |
+//! | [`exec_bench`] | executor throughput: SoA engine vs reference oracle (not in `repro all`) |
 //!
 //! All experiments execute every workload to completion (the paper's
 //! methodology, §5.1) and *verify each run against the workload's host
@@ -39,6 +40,7 @@ pub mod characterize;
 pub mod csv;
 pub mod ctx;
 pub mod encoding;
+pub mod exec_bench;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

@@ -57,6 +57,29 @@ impl Operand {
     pub fn is_reg(self) -> bool {
         matches!(self, Operand::Reg(_))
     }
+
+    /// The 32-bit word a constant operand contributes to the datapath —
+    /// an integer immediate as its two's-complement bits, a float
+    /// immediate as its IEEE-754 bits — or `None` for operands whose value
+    /// is only known per lane at execution (registers, specials). This is
+    /// what lets an instruction decoder fold both immediate forms into one
+    /// pre-computed constant slot.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rfh_isa::Operand;
+    /// assert_eq!(Operand::Imm(-1).const_bits(), Some(u32::MAX));
+    /// assert_eq!(Operand::f32(1.0).const_bits(), Some(1.0f32.to_bits()));
+    /// assert_eq!(Operand::Reg(rfh_isa::Reg::new(0)).const_bits(), None);
+    /// ```
+    pub const fn const_bits(self) -> Option<u32> {
+        match self {
+            Operand::Imm(v) => Some(v as u32),
+            Operand::FBits(bits) => Some(bits),
+            Operand::Reg(_) | Operand::Special(_) => None,
+        }
+    }
 }
 
 impl From<Reg> for Operand {

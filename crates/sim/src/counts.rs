@@ -1,22 +1,21 @@
 //! Access counting for software-managed hierarchies.
 
 use rfh_energy::AccessCounts;
-use rfh_isa::AccessPlan;
 
 use crate::sink::{InstrEvent, TraceSink};
 
 /// Tallies register file hierarchy accesses of an annotated kernel.
 ///
-/// Every executed instruction is resolved by [`AccessPlan::resolve_into`]
-/// into its explicit access list — reads at the level each `ReadLoc`
-/// names, the ORF deposit of read-operand fills (§4.4), and per-word
-/// destination writes (64-bit values cost two accesses at each level
-/// written) — and folded into [`AccessCounts`], which splits ORF traffic
-/// by datapath for wire energy.
+/// Every executed instruction arrives with its resolved
+/// [`AccessPlan`](rfh_isa::AccessPlan) —
+/// reads at the level each `ReadLoc` names, the ORF deposit of
+/// read-operand fills (§4.4), and per-word destination writes (64-bit
+/// values cost two accesses at each level written) — and is folded into
+/// [`AccessCounts`], which splits ORF traffic by datapath for wire
+/// energy.
 #[derive(Debug, Default, Clone)]
 pub struct SwCounter {
     counts: AccessCounts,
-    plan: AccessPlan,
 }
 
 impl SwCounter {
@@ -28,8 +27,7 @@ impl SwCounter {
 
 impl TraceSink for SwCounter {
     fn on_instr(&mut self, event: &InstrEvent<'_>) {
-        self.plan.resolve_into(event.instr);
-        self.counts.record_plan(&self.plan);
+        self.counts.record_plan(event.plan);
     }
 }
 
@@ -164,7 +162,6 @@ BB0:
 pub struct StrandCounter {
     map: Vec<Vec<u32>>,
     counts: Vec<AccessCounts>,
-    plan: AccessPlan,
 }
 
 impl StrandCounter {
@@ -175,7 +172,6 @@ impl StrandCounter {
         StrandCounter {
             map,
             counts: vec![AccessCounts::default(); strands],
-            plan: AccessPlan::new(),
         }
     }
 
@@ -195,7 +191,6 @@ impl StrandCounter {
 impl TraceSink for StrandCounter {
     fn on_instr(&mut self, event: &InstrEvent<'_>) {
         let sid = self.map[event.at.block.index()][event.at.index] as usize;
-        self.plan.resolve_into(event.instr);
-        self.counts[sid].record_plan(&self.plan);
+        self.counts[sid].record_plan(event.plan);
     }
 }

@@ -62,7 +62,7 @@ pub mod trace;
 pub mod usage;
 
 pub use counts::SwCounter;
-pub use exec::{execute, ExecError, ExecMode, ExecReport, Launch};
+pub use exec::{execute, execute_with_engine, Engine, ExecError, ExecMode, ExecReport, Launch};
 pub use machine::MachineConfig;
 pub use mem::GlobalMemory;
 pub use profile::EnergyProfiler;

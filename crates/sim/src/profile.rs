@@ -10,7 +10,7 @@
 //! pays for the MRF".
 
 use rfh_energy::{AccessCounts, EnergyBreakdown, EnergyModel};
-use rfh_isa::{AccessPlan, InstrRef, Kernel};
+use rfh_isa::{InstrRef, Kernel};
 
 use crate::sink::{InstrEvent, TraceSink};
 
@@ -31,7 +31,6 @@ pub struct StrandProfile {
 pub struct EnergyProfiler {
     map: Vec<Vec<u32>>,
     strands: Vec<StrandProfile>,
-    plan: AccessPlan,
     model: EnergyModel,
     orf_entries: usize,
 }
@@ -64,7 +63,6 @@ impl EnergyProfiler {
         EnergyProfiler {
             map,
             strands,
-            plan: AccessPlan::new(),
             model,
             orf_entries: orf_entries.clamp(1, 8),
         }
@@ -141,10 +139,9 @@ impl EnergyProfiler {
 impl TraceSink for EnergyProfiler {
     fn on_instr(&mut self, event: &InstrEvent<'_>) {
         let sid = self.map[event.at.block.index()][event.at.index] as usize;
-        self.plan.resolve_into(event.instr);
         let s = &mut self.strands[sid];
         s.instrs += 1;
-        s.counts.record_plan(&self.plan);
+        s.counts.record_plan(event.plan);
     }
 }
 

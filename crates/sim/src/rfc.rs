@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use rfh_energy::AccessCounts;
-use rfh_isa::access::{AccessPlan, AccessSlot, Datapath};
+use rfh_isa::access::{AccessSlot, Datapath};
 use rfh_isa::Unit;
 
 use crate::sink::{InstrEvent, TraceSink};
@@ -90,7 +90,6 @@ pub struct HwCounter {
     shared_regs: HashSet<u16>,
     /// Number of deschedule (flush) events observed.
     pub deschedules: u64,
-    plan: AccessPlan,
 }
 
 impl HwCounter {
@@ -111,7 +110,6 @@ impl HwCounter {
             warps: HashMap::new(),
             shared_regs,
             deschedules: 0,
-            plan: AccessPlan::new(),
         }
     }
 
@@ -176,8 +174,7 @@ impl HwCounter {
 impl TraceSink for HwCounter {
     fn on_instr(&mut self, event: &InstrEvent<'_>) {
         let instr = event.instr;
-        self.plan.resolve_into(instr);
-        let plan = &self.plan;
+        let plan = event.plan;
         let state = self.warps.entry(event.warp).or_default();
         let counts = &mut self.counts;
 

@@ -6,6 +6,7 @@
 //! the paper's methodology of a custom Ocelot trace analysis tool recording
 //! hierarchy accesses over full program executions (§5.1).
 
+use rfh_isa::access::AccessPlan;
 use rfh_isa::{InstrRef, Instruction};
 
 /// One executed warp instruction.
@@ -21,6 +22,11 @@ pub struct InstrEvent<'a> {
     pub active_mask: u32,
     /// Threads that actually executed (active ∧ guard).
     pub exec_mask: u32,
+    /// The instruction's resolved register-file accesses. The executor
+    /// resolves the plan (once per static instruction under the SoA
+    /// engine), so sinks consume it directly instead of each re-resolving
+    /// `instr` per event.
+    pub plan: &'a AccessPlan,
 }
 
 impl InstrEvent<'_> {
@@ -123,6 +129,7 @@ mod tests {
     #[test]
     fn exec_threads_counts_bits() {
         let i = ops::mov(Reg::new(0), 1.into());
+        let plan = AccessPlan::resolve(&i);
         let ev = InstrEvent {
             warp: 0,
             at: InstrRef {
@@ -132,6 +139,7 @@ mod tests {
             instr: &i,
             active_mask: 0xFFFF_FFFF,
             exec_mask: 0x0000_00FF,
+            plan: &plan,
         };
         assert_eq!(ev.exec_threads(), 8);
         let mut sink = NullSink;
@@ -157,6 +165,7 @@ mod tests {
     #[test]
     fn fanout_broadcasts_to_all_children() {
         let i = ops::mov(Reg::new(0), 1.into());
+        let plan = AccessPlan::resolve(&i);
         let ev = InstrEvent {
             warp: 0,
             at: InstrRef {
@@ -166,6 +175,7 @@ mod tests {
             instr: &i,
             active_mask: u32::MAX,
             exec_mask: u32::MAX,
+            plan: &plan,
         };
         let mut a = Tally::default();
         let mut b = Tally::default();
@@ -184,6 +194,7 @@ mod tests {
     #[test]
     fn fanout_nests() {
         let i = ops::mov(Reg::new(0), 1.into());
+        let plan = AccessPlan::resolve(&i);
         let ev = InstrEvent {
             warp: 3,
             at: InstrRef {
@@ -193,6 +204,7 @@ mod tests {
             instr: &i,
             active_mask: u32::MAX,
             exec_mask: u32::MAX,
+            plan: &plan,
         };
         let mut leaf = Tally::default();
         {

@@ -18,7 +18,7 @@
 //! deterministic: records are kept in global issue order, which the
 //! barrier-phased executor makes independent of any parallelism knob.
 
-use rfh_isa::access::{AccessPlan, RegAccess};
+use rfh_isa::access::RegAccess;
 use rfh_isa::{InstrRef, Kernel};
 
 use crate::sink::{InstrEvent, TraceSink};
@@ -49,7 +49,6 @@ pub struct TraceRecord {
 pub struct TraceExporter {
     map: Vec<Vec<u32>>,
     records: Vec<TraceRecord>,
-    plan: AccessPlan,
 }
 
 impl TraceExporter {
@@ -58,7 +57,6 @@ impl TraceExporter {
         TraceExporter {
             map: rfh_analysis::strand::segment_ids(kernel),
             records: Vec::new(),
-            plan: AccessPlan::new(),
         }
     }
 
@@ -149,7 +147,6 @@ impl TraceExporter {
 
 impl TraceSink for TraceExporter {
     fn on_instr(&mut self, event: &InstrEvent<'_>) {
-        self.plan.resolve_into(event.instr);
         let seq = self.records.len() as u64;
         self.records.push(TraceRecord {
             seq,
@@ -159,7 +156,7 @@ impl TraceSink for TraceExporter {
             strand: self.map[event.at.block.index()][event.at.index],
             active_mask: event.active_mask,
             exec_mask: event.exec_mask,
-            accesses: self.plan.accesses().to_vec(),
+            accesses: event.plan.accesses().to_vec(),
         });
     }
 }

@@ -9,8 +9,6 @@
 
 use std::collections::HashMap;
 
-use rfh_isa::AccessPlan;
-
 use crate::sink::{InstrEvent, TraceSink};
 
 /// Read-count histogram (Figure 2a buckets).
@@ -82,7 +80,6 @@ struct WarpTrack {
 #[derive(Debug, Default)]
 pub struct UsageStats {
     warps: HashMap<usize, WarpTrack>,
-    plan: AccessPlan,
     /// Read-count distribution over all produced values.
     pub reads: ReadHistogram,
     /// Lifetime distribution over read-once values.
@@ -124,9 +121,9 @@ impl TraceSink for UsageStats {
         track.step += 1;
         let step = track.step;
         let shared = event.instr.op.unit().is_shared();
-        self.plan.resolve_into(event.instr);
+        let plan = event.plan;
 
-        for a in self.plan.reads() {
+        for a in plan.reads() {
             if let Some(v) = track.values.get_mut(&a.reg.index()) {
                 v.reads += 1;
                 v.last_read_step = step;
@@ -137,7 +134,7 @@ impl TraceSink for UsageStats {
         // A 64-bit value is one value occupying two registers; both written
         // words get the same track and overwrite-finalize independently.
         let mut finalized: Vec<ValueTrack> = Vec::new();
-        for r in self.plan.written_words() {
+        for r in plan.written_words() {
             if let Some(old) = track.values.remove(&r.index()) {
                 finalized.push(old);
             }
@@ -145,7 +142,7 @@ impl TraceSink for UsageStats {
         for old in finalized {
             self.finalize(old);
         }
-        for r in self.plan.written_words() {
+        for r in plan.written_words() {
             track.values.insert(
                 r.index(),
                 ValueTrack {

@@ -24,6 +24,15 @@ cargo test -q --offline
 echo "==> chaos smoke (bounded fault-injection run)"
 RFH_CHAOS_CASES=200 cargo test -p rfh-chaos -q --offline
 
+echo "==> exec differential smoke (SoA engine vs frozen reference oracle)"
+# The differential conformance suite must hold at both ends of the pool:
+# serial, and with 8 workers (whose fold order must not matter). The full
+# 1000-case sweep runs in `cargo test` above; these runs pin the job-count
+# invariance with a bounded budget.
+RFH_JOBS=1 RFH_EXEC_DIFF_CASES=100 cargo test -q --offline --test exec_differential
+RFH_JOBS=8 RFH_EXEC_DIFF_CASES=100 cargo test -q --offline --test exec_differential
+echo "exec differential suite green under RFH_JOBS=1 and RFH_JOBS=8"
+
 echo "==> repro smoke (parallel run must reproduce the committed goldens)"
 # Regenerate the golden CSVs with two pool workers and diff byte-for-byte
 # against results/*.csv: parallelism and memoization must not change a
@@ -38,6 +47,16 @@ for f in results/*.csv; do
 done
 echo "repro goldens byte-identical under RFH_JOBS=2"
 echo "bench timings: $artifacts/BENCH_repro.json"
+
+echo "==> exec-bench smoke (executor throughput, one rep)"
+# One timed repetition: checks the bench arm end to end and exports the
+# rfh-exec-bench-v1 JSON for inspection. Perf numbers are not gated here
+# (CI machines vary); the committed history lives in BENCH_exec.json.
+RFH_EXEC_BENCH_REPS=1 ./target/release/repro \
+    --exec-bench-json "$artifacts/BENCH_exec.json" exec-bench \
+    > "$artifacts/exec_bench.txt"
+grep -q '"schema": "rfh-exec-bench-v1"' "$artifacts/BENCH_exec.json"
+echo "exec-bench result: $artifacts/BENCH_exec.json"
 
 echo "==> lint smoke + golden diagnostics report"
 # The analyzer must accept the repo's own kernels: `rfhc lint` on a known
@@ -74,7 +93,7 @@ echo "==> panic gate (hardened crates)"
 # modules. `.expect("reason")` is allowed — the reason is the review gate.
 fail=0
 for f in crates/isa/src/*.rs crates/alloc/src/*.rs crates/sim/src/*.rs \
-    crates/chaos/src/*.rs crates/lint/src/*.rs; do
+    crates/sim/src/*/*.rs crates/chaos/src/*.rs crates/lint/src/*.rs; do
     hits=$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }

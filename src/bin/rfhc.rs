@@ -15,8 +15,14 @@
 //!      <kernel.rfasm | ->
 //! rfhc trace [--orf N] [--lrf none|unified|split] [--no-partial]
 //!      [--no-readop] [--baseline] [--json | --chrome | --profile]
-//!      [--ctas N] [--threads N] [--jobs N] <kernel.rfasm | ->
+//!      [--ctas N] [--threads N] [--engine soa|reference] [--jobs N]
+//!      <kernel.rfasm | ->
 //! ```
+//!
+//! `--engine` selects the executor: the warp-batched SoA engine (the
+//! default) or the frozen reference interpreter it is differentially
+//! tested against. Both produce byte-identical traces; the flag exists so
+//! any divergence can be reproduced from the command line.
 //!
 //! Exit codes are stable per error class (see `docs/ROBUSTNESS.md`):
 //! 0 success, 1 I/O, 2 usage, 3 parse error, 4 invalid kernel, 5 bad
@@ -36,8 +42,9 @@ const USAGE: &str = "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-part
      <kernel.rfasm | ->\n\
        rfhc trace [--orf N] [--lrf none|unified|split] [--no-partial] [--no-readop] \
      [--baseline]\n\
-             [--json | --chrome | --profile] [--ctas N] [--threads N] [--jobs N] \
-     <kernel.rfasm | ->";
+             [--json | --chrome | --profile] [--ctas N] [--threads N] \
+     [--engine soa|reference] [--jobs N]\n\
+             <kernel.rfasm | ->";
 
 fn usage(msg: &str) -> RfhError {
     RfhError::Usage(format!("{msg}\n{USAGE}"))
@@ -238,6 +245,7 @@ fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Re
     let mut format = TraceFormat::Json;
     let mut ctas: usize = 1;
     let mut threads: usize = 64;
+    let mut engine = rfh::sim::Engine::default();
     let mut input: Option<String> = None;
 
     while let Some(arg) = args.next() {
@@ -279,6 +287,13 @@ fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Re
                     .filter(|&n: &usize| n >= 1)
                     .ok_or_else(|| usage("--threads needs a positive integer"))?;
             }
+            "--engine" => {
+                engine = args
+                    .next()
+                    .as_deref()
+                    .and_then(rfh::sim::Engine::from_name)
+                    .ok_or_else(|| usage("--engine needs soa|reference"))?;
+            }
             "--jobs" => set_jobs(&args.next().ok_or_else(|| usage("--jobs needs a value"))?),
             "--help" | "-h" => return Err(usage("")),
             "-" if input.is_none() => input = Some("-".into()),
@@ -309,7 +324,16 @@ fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Re
 
     let launch = rfh::sim::Launch::new(ctas, threads);
     let mut mem = rfh::sim::GlobalMemory::new(1 << 16);
-    rfh::sim::execute(&kernel, &launch, &mut mem, mode, &mut [&mut fan])?;
+    let machine = rfh::sim::MachineConfig::paper();
+    rfh::sim::execute_with_engine(
+        &kernel,
+        &launch,
+        &mut mem,
+        mode,
+        &machine,
+        engine,
+        &mut [&mut fan],
+    )?;
 
     match format {
         TraceFormat::Json => print!("{}", exporter.json_lines()),

@@ -274,6 +274,29 @@ fn trace_baseline_mode_traces_the_unallocated_kernel() {
 }
 
 #[test]
+fn trace_engines_produce_byte_identical_output() {
+    let soa = rfhc_stdin(&["trace", "--engine", "soa", "-"], TRACE_KERNEL);
+    let oracle = rfhc_stdin(&["trace", "--engine", "reference", "-"], TRACE_KERNEL);
+    assert_eq!(soa.status.code(), Some(0), "{soa:?}");
+    assert_eq!(oracle.status.code(), Some(0), "{oracle:?}");
+    assert_eq!(
+        soa.stdout, oracle.stdout,
+        "both executor engines must export the identical trace"
+    );
+    let default = rfhc_stdin(&["trace", "-"], TRACE_KERNEL);
+    assert_eq!(default.stdout, soa.stdout, "SoA is the default engine");
+}
+
+#[test]
+fn trace_rejects_an_unknown_engine() {
+    // Arg parsing fails before stdin is read, so no input is piped.
+    let out = rfhc(&["trace", "--engine", "turbo", "-"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--engine needs soa|reference"), "{stderr}");
+}
+
+#[test]
 fn trace_json_is_byte_identical_at_any_job_count() {
     let one = rfhc_stdin_env(&["trace", "-"], TRACE_KERNEL, &[("RFH_JOBS", "1")]);
     let eight = rfhc_stdin_env(&["trace", "-"], TRACE_KERNEL, &[("RFH_JOBS", "8")]);
