@@ -29,11 +29,11 @@ use rfh_isa::Kernel;
 use rfh_sim::counts::SwCounter;
 use rfh_sim::exec::{execute_with, execute_with_engine, Engine, ExecMode};
 use rfh_sim::machine::MachineConfig;
-use rfh_testkit::pool::par_map;
+use rfh_testkit::pool::{par_map, par_map_with_jobs};
 use rfh_testkit::prelude::*;
 use rfh_workloads::Workload;
 
-use crate::{byte, ir, place};
+use crate::{byte, ir, place, wire};
 
 /// Aggregate classification of one layer's mutant population.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -460,6 +460,69 @@ pub fn run_place_layer(
         }))
     });
     fold_cases(&seeds, outcomes, "placement")
+}
+
+/// Fuzzes the `rfhd` wire protocol against a **live in-process daemon**:
+/// seeded raw-socket faults (truncated frames, garbage bytes, oversized
+/// length prefixes, mid-request disconnects, stalled slow writers)
+/// interleaved with well-formed requests, each followed by a fresh
+/// well-formed probe. The trichotomy here: well-formed requests succeed
+/// (**identical**), malformed traffic draws a structured error frame
+/// (**structured**) or a clean teardown (**rejected**), and the daemon
+/// keeps serving throughout — no deaths, no poisoned workers, no leaked
+/// queue slots. After the last case the daemon is drained and its exit
+/// report is checked for leaks and absorbed panics.
+///
+/// # Errors
+///
+/// Returns a replayable description of the first violation: a failed
+/// probe (daemon dead or poisoned), a fault answered with success, a
+/// well-formed request answered with failure, an undecodable response,
+/// a silent daemon, or a drain that leaks connections.
+pub fn run_protocol_layer(cases: usize, base_seed: u64) -> Result<ChaosReport, String> {
+    use rfh_rfhd::server::{Endpoint, Server, ServerConfig};
+
+    // Small socket read timeout so the slow-writer flavor resolves
+    // quickly; enough workers and queue depth that concurrent chaos
+    // cases mostly ride out each other's stalls via the queue, with the
+    // occasional shed absorbed by probe retries.
+    const IO_TIMEOUT_MS: u64 = 100;
+    let mut cfg = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".to_string()));
+    cfg.workers = 4;
+    cfg.queue_depth = 32;
+    cfg.io_timeout_ms = IO_TIMEOUT_MS;
+    cfg.timeout_ms = 2_000;
+    let handle = Server::spawn(cfg).map_err(|e| format!("daemon failed to start: {e}"))?;
+    let endpoint = handle.endpoint.clone();
+    let addr = match &endpoint {
+        Endpoint::Tcp(a) => a.clone(),
+        Endpoint::Unix(p) => format!("{}", p.display()),
+    };
+
+    // Protocol cases are I/O-bound (socket timeouts, deliberate stalls),
+    // not CPU-bound, so fan out wider than the core count; outcomes are
+    // still folded in case order, so the report stays deterministic.
+    let seeds = case_seeds(base_seed, cases);
+    let outcomes = par_map_with_jobs(8, &seeds, |&seed| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let observed = wire::inject(&addr, IO_TIMEOUT_MS, &mut rng)?;
+            // Whatever the fault did, the daemon must still serve.
+            wire::probe(&endpoint, seed)?;
+            Ok(match observed {
+                wire::Observation::Succeeded => CaseOutcome::Identical,
+                wire::Observation::ErrorFrame => CaseOutcome::Structured,
+                wire::Observation::Closed => CaseOutcome::Rejected,
+            })
+        }))
+    });
+    let folded = fold_cases(&seeds, outcomes, "protocol");
+    // Drain even on a violation so the listener thread never outlives
+    // the layer; a drain failure is itself a violation.
+    let drained = wire::drain(handle);
+    let report = folded?;
+    drained?;
+    Ok(report)
 }
 
 /// Fuzzes the *executor pair* with structural IR corruptions (executed

@@ -37,6 +37,15 @@
 //! on rejection — so engine conformance is fuzzed with hostile inputs,
 //! not just well-formed programs.
 //!
+//! A sixth layer ([`harness::run_protocol_layer`]) aims seeded
+//! *wire-protocol* faults ([`wire`]) — truncated frames, garbage bytes,
+//! oversized length prefixes, mid-request disconnects, stalled slow
+//! writers — at a live in-process `rfhd` daemon and asserts the service
+//! trichotomy: well-formed requests succeed, malformed traffic draws a
+//! structured error frame or a clean teardown, and the daemon keeps
+//! serving throughout — no deaths, no poisoned workers, no leaked queue
+//! slots.
+//!
 //! Every case derives its RNG seed from a base seed via SplitMix64, so a
 //! failure report pinpoints one replayable case. Set `RFH_TESTKIT_SEED`
 //! to override the base seed and `RFH_CHAOS_CASES` to scale the case
@@ -47,8 +56,9 @@ pub mod byte;
 pub mod harness;
 pub mod ir;
 pub mod place;
+pub mod wire;
 
 pub use harness::{
     cases_from_env, run_byte_layer, run_exec_differential_layer, run_ir_layer, run_lint_layer,
-    run_place_layer, seed_from_env, ChaosReport,
+    run_place_layer, run_protocol_layer, seed_from_env, ChaosReport,
 };

@@ -176,6 +176,36 @@ fn exec_differential_layer_holds_on_a_divergent_kernel() {
 }
 
 #[test]
+fn protocol_layer_trichotomy_holds() {
+    // The wire-protocol layer: seeded socket faults against a live
+    // in-process daemon. Every case ends in the service trichotomy —
+    // well-formed requests succeed, malformed traffic draws a structured
+    // error frame or a clean teardown — and after each fault a fresh
+    // probe proves the daemon is neither dead nor poisoned. The layer
+    // itself also drains the daemon and checks for leaked connections
+    // and absorbed panics.
+    let cases = cases_from_env(1000);
+    let report = rfh_chaos::run_protocol_layer(cases, seed_from_env(0x3070_0009))
+        .expect("protocol trichotomy violated — the daemon died, hung, or leaked");
+    assert_eq!(
+        report.cases, cases,
+        "all cases classified — zero daemon deaths ({report})"
+    );
+    assert!(
+        report.identical > 0,
+        "well-formed requests should succeed amid the chaos: {report}"
+    );
+    assert!(
+        report.structured > 0,
+        "malformed traffic should draw structured error frames: {report}"
+    );
+    assert!(
+        report.rejected > 0,
+        "abandoned connections should be torn down cleanly: {report}"
+    );
+}
+
+#[test]
 fn chaos_runs_are_deterministic_per_seed() {
     let w = workload("vectoradd");
     let a = run_byte_layer(&w, &cfg(), 50, 7).expect("run a");

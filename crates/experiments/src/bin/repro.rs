@@ -45,6 +45,14 @@ use rfh_experiments::{
     perf, tables, ExperimentCtx,
 };
 
+/// Reports an I/O failure on a user-supplied path and exits with the
+/// toolchain's I/O code (1) — bad `--csv`/`--bench-json` destinations are
+/// operator input, not toolchain bugs, so they must not panic.
+fn io_fail(what: &str, path: &str, e: std::io::Error) -> ! {
+    eprintln!("repro: cannot {what} {path}: {e}");
+    std::process::exit(1);
+}
+
 /// Extracts `--flag <value>` from `args`, removing both tokens.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).map(|i| {
@@ -74,12 +82,16 @@ fn main() {
         }
     }
     if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            io_fail("create csv dir", dir, e);
+        }
     }
     let write_csv = |name: &str, contents: String| {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{name}.csv");
-            std::fs::write(&path, contents).expect("write csv");
+            if let Err(e) = std::fs::write(&path, contents) {
+                io_fail("write", &path, e);
+            }
             eprintln!("[wrote {path}]");
         }
     };
@@ -189,7 +201,9 @@ fn main() {
                     .max(1);
                 let b = exec_bench::run(&workloads, reps);
                 if let Some(path) = &exec_bench_json {
-                    std::fs::write(path, exec_bench::json(&b)).expect("write exec-bench json");
+                    if let Err(e) = std::fs::write(path, exec_bench::json(&b)) {
+                        io_fail("write", path, e);
+                    }
                     eprintln!("[wrote {path}]");
                 }
                 exec_bench::print(&b)
@@ -216,7 +230,9 @@ fn main() {
             rfh_testkit::pool::jobs(),
             experiments.join(",\n")
         );
-        std::fs::write(path, json).expect("write bench json");
+        if let Err(e) = std::fs::write(path, json) {
+            io_fail("write", path, e);
+        }
         eprintln!("[wrote {path}]");
     }
 }

@@ -13,18 +13,20 @@
 //! * hierarchy-faithful SW access counts per (workload, [`AllocConfig`]),
 //! * HW cache access counts per (workload, [`RfcConfig`]),
 //!
-//! behind thread-safe interior mutability, so the experiment modules can
-//! fan cells out across [`rfh_testkit::pool::par_map`] workers and share
-//! one cache. All cached quantities are deterministic functions of their
-//! key; concurrent computation of the same key is benign (first writer
-//! wins, results are identical).
+//! in unbounded [`rfh_rfhd::cache::Store`]s — the same memoization
+//! component behind the daemon's kernel cache — so the experiment modules
+//! can fan cells out across [`rfh_testkit::pool::par_map`] workers and
+//! share one cache with hit/miss statistics for free. All cached
+//! quantities are deterministic functions of their key; concurrent
+//! computation of the same key is benign (first writer wins, results are
+//! identical).
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use rfh_alloc::AllocConfig;
 use rfh_energy::{AccessCounts, EnergyModel};
 use rfh_isa::Kernel;
+use rfh_rfhd::cache::{CacheStats, Store};
 use rfh_sim::counts::SwCounter;
 use rfh_sim::exec::ExecMode;
 use rfh_sim::rfc::RfcConfig;
@@ -37,9 +39,9 @@ pub struct ExperimentCtx<'w> {
     workloads: &'w [Workload],
     model: EnergyModel,
     baselines: Vec<OnceLock<AccessCounts>>,
-    kernels: Mutex<HashMap<(usize, AllocConfig), Arc<Kernel>>>,
-    sw: Mutex<HashMap<(usize, AllocConfig), AccessCounts>>,
-    hw: Mutex<HashMap<(usize, RfcConfig), AccessCounts>>,
+    kernels: Store<(usize, AllocConfig), Arc<Kernel>>,
+    sw: Store<(usize, AllocConfig), AccessCounts>,
+    hw: Store<(usize, RfcConfig), AccessCounts>,
 }
 
 impl<'w> ExperimentCtx<'w> {
@@ -49,9 +51,9 @@ impl<'w> ExperimentCtx<'w> {
             workloads,
             model: EnergyModel::paper(),
             baselines: workloads.iter().map(|_| OnceLock::new()).collect(),
-            kernels: Mutex::new(HashMap::new()),
-            sw: Mutex::new(HashMap::new()),
-            hw: Mutex::new(HashMap::new()),
+            kernels: Store::unbounded(),
+            sw: Store::unbounded(),
+            hw: Store::unbounded(),
         }
     }
 
@@ -83,23 +85,15 @@ impl<'w> ExperimentCtx<'w> {
     /// Panics if allocation fails — a toolchain bug, as for
     /// [`runner::sw_counts`].
     pub fn allocated(&self, i: usize, cfg: &AllocConfig) -> Arc<Kernel> {
-        let key = (i, *cfg);
-        if let Some(k) = self.kernels.lock().expect("kernel cache lock").get(&key) {
-            return Arc::clone(k);
-        }
-        // Computed outside the lock so a slow allocation does not
-        // serialize the pool; a concurrent duplicate is benign (the
-        // allocator is deterministic, first insert wins).
-        let mut kernel = self.workloads[i].kernel.clone();
-        rfh_alloc::allocate(&mut kernel, cfg, &self.model)
-            .unwrap_or_else(|e| panic!("allocation failed: {e}"));
-        Arc::clone(
-            self.kernels
-                .lock()
-                .expect("kernel cache lock")
-                .entry(key)
-                .or_insert_with(|| Arc::new(kernel)),
-        )
+        // The store runs the computation outside its lock, so a slow
+        // allocation does not serialize the pool; a concurrent duplicate
+        // is benign (the allocator is deterministic, first insert wins).
+        self.kernels.get_or_insert_with((i, *cfg), || {
+            let mut kernel = self.workloads[i].kernel.clone();
+            rfh_alloc::allocate(&mut kernel, cfg, &self.model)
+                .unwrap_or_else(|e| panic!("allocation failed: {e}"));
+            Arc::new(kernel)
+        })
     }
 
     /// Hierarchy-faithful SW access counts of workload `i` under `cfg`,
@@ -110,22 +104,14 @@ impl<'w> ExperimentCtx<'w> {
     ///
     /// As for [`runner::sw_counts`].
     pub fn sw_counts(&self, i: usize, cfg: &AllocConfig) -> AccessCounts {
-        let key = (i, *cfg);
-        if let Some(c) = self.sw.lock().expect("sw cache lock").get(&key) {
-            return *c;
-        }
-        let kernel = self.allocated(i, cfg);
-        let w = &self.workloads[i];
-        let mut counter = SwCounter::default();
-        w.run_and_verify(ExecMode::Hierarchy(*cfg), &kernel, &mut [&mut counter])
-            .unwrap_or_else(|e| panic!("sw run failed: {e}"));
-        let counts = counter.counts();
-        *self
-            .sw
-            .lock()
-            .expect("sw cache lock")
-            .entry(key)
-            .or_insert(counts)
+        self.sw.get_or_insert_with((i, *cfg), || {
+            let kernel = self.allocated(i, cfg);
+            let w = &self.workloads[i];
+            let mut counter = SwCounter::default();
+            w.run_and_verify(ExecMode::Hierarchy(*cfg), &kernel, &mut [&mut counter])
+                .unwrap_or_else(|e| panic!("sw run failed: {e}"));
+            counter.counts()
+        })
     }
 
     /// Hardware-cache access counts of workload `i` under `cfg`, memoized
@@ -135,17 +121,8 @@ impl<'w> ExperimentCtx<'w> {
     ///
     /// As for [`runner::hw_counts`].
     pub fn hw_counts(&self, i: usize, cfg: &RfcConfig) -> AccessCounts {
-        let key = (i, *cfg);
-        if let Some(c) = self.hw.lock().expect("hw cache lock").get(&key) {
-            return *c;
-        }
-        let counts = runner::hw_counts(&self.workloads[i], cfg);
-        *self
-            .hw
-            .lock()
-            .expect("hw cache lock")
-            .entry(key)
-            .or_insert(counts)
+        self.hw
+            .get_or_insert_with((i, *cfg), || runner::hw_counts(&self.workloads[i], cfg))
     }
 
     /// Per-benchmark normalized energy of SW counts against the memoized
@@ -162,6 +139,13 @@ impl<'w> ExperimentCtx<'w> {
             &self.model,
             cfg.orf_entries,
         )
+    }
+
+    /// Snapshots of the three cell caches' counters, in the order
+    /// (allocated kernels, SW counts, HW counts) — observability into how
+    /// much sharing a sweep actually got.
+    pub fn cache_stats(&self) -> [CacheStats; 3] {
+        [self.kernels.stats(), self.sw.stats(), self.hw.stats()]
     }
 }
 
@@ -194,6 +178,10 @@ mod tests {
             assert_eq!(ctx.baseline(i), ctx.baseline(i));
             assert_eq!(ctx.sw_counts(i, &cfg), ctx.sw_counts(i, &cfg));
         }
+        let [kernels, sw, _hw] = ctx.cache_stats();
+        assert_eq!(kernels.entries, ws.len(), "one allocation per workload");
+        assert!(sw.hits >= ws.len() as u64, "second lookups hit the cache");
+        assert_eq!(sw.entries, ws.len());
     }
 
     #[test]
@@ -204,6 +192,8 @@ mod tests {
         let hits: Vec<(AccessCounts, AccessCounts)> =
             par_map(&[0usize; 16], |_| (ctx.baseline(0), ctx.sw_counts(0, &cfg)));
         assert!(hits.windows(2).all(|p| p[0] == p[1]));
+        let [_, sw, _] = ctx.cache_stats();
+        assert_eq!(sw.entries, 1, "sixteen lookups share one cell");
     }
 
     #[test]

@@ -42,8 +42,10 @@ impl Fig13 {
         self.points
             .iter()
             .map(|p| (p.entries, f(p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
+            // total_cmp: a NaN cell (degenerate energy ratio) must sort,
+            // not panic the whole sweep.
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("Fig13 has at least one point")
     }
 }
 

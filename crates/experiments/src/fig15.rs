@@ -42,7 +42,8 @@ pub fn run(ctx: &ExperimentCtx) -> Vec<BenchEnergy> {
             energy: ctx.sw_normalized(i, &cfg),
         }
     });
-    rows.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
+    // total_cmp: a NaN energy (degenerate ratio) must sort, not panic.
+    rows.sort_by(|a, b| a.energy.total_cmp(&b.energy));
     rows
 }
 

@@ -49,7 +49,7 @@ pub fn run(ctx: &ExperimentCtx, active_sizes: &[usize]) -> Vec<PerfPoint> {
     });
     let baselines: Vec<u64> = par_map(&captures, |c| {
         simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::single_level())
-            .expect("captured trace replays within budget")
+            .unwrap_or_else(|e| panic!("captured trace replay failed: {e}"))
             .cycles
     });
 
@@ -61,7 +61,7 @@ pub fn run(ctx: &ExperimentCtx, active_sizes: &[usize]) -> Vec<PerfPoint> {
     let ratios: Vec<f64> = par_map(&cells, |&(a, i)| {
         let c = &captures[i];
         let t = simulate_timing(&c.traces, &|w| c.cta_of(w), &TimingConfig::two_level(a))
-            .expect("captured trace replays within budget");
+            .unwrap_or_else(|e| panic!("captured trace replay failed: {e}"));
         t.cycles as f64 / baselines[i] as f64
     });
     active_sizes

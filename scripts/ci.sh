@@ -87,13 +87,75 @@ RFH_JOBS=1 ./target/release/rfhc trace --profile examples/trace_golden.rfasm \
 cmp results/strand_profile_golden.txt "$artifacts/strand_profile_golden.txt"
 echo "trace + strand profile byte-identical under RFH_JOBS=1 and RFH_JOBS=8"
 
+echo "==> daemon smoke (rfhd serve/client over a unix socket)"
+# A live daemon must survive a request mix that includes a malformed
+# frame and a timeout-inducing kernel, keep serving, and drain to exit 0
+# — under a serial pool and an 8-worker pool alike. The replay load
+# generator's rfhd-bench-v1 JSON is exported for inspection.
+for jobs in 1 8; do
+    sock="$artifacts/rfhd-$jobs.sock"
+    RFH_JOBS=$jobs ./target/release/rfhc serve --unix "$sock" --workers 2 &
+    serve_pid=$!
+    tries=0
+    while [ ! -S "$sock" ]; do
+        tries=$((tries + 1))
+        [ "$tries" -le 50 ] || { echo "daemon socket never appeared"; exit 1; }
+        sleep 0.1
+    done
+    # Well-formed mix: a verified workload simulation and an assemble.
+    ./target/release/rfhc client --unix "$sock" \
+        --op simulate --workload vectoradd > /dev/null
+    ./target/release/rfhc client --unix "$sock" \
+        --op assemble examples/trace_golden.rfasm > /dev/null
+    # An unparseable kernel comes back as a structured parse error frame,
+    # which the client maps to the local parse exit code (3).
+    set +e
+    printf 'this is not a kernel\n' \
+        | ./target/release/rfhc client --unix "$sock" --op assemble - \
+        > /dev/null 2>&1
+    rc=$?
+    set -e
+    [ "$rc" -eq 3 ] || { echo "remote parse error exited $rc, want 3"; exit 1; }
+    # One malformed frame: the framing layer must answer a structured
+    # protocol error frame (client maps it to exit 9), not die.
+    set +e
+    ./target/release/rfhc client --unix "$sock" --malformed-probe 2> /dev/null
+    rc=$?
+    set -e
+    [ "$rc" -eq 9 ] || { echo "malformed-frame probe exited $rc, want 9"; exit 1; }
+    # One timeout-inducing kernel: the spin loop must be stopped by the
+    # wall-clock timeout (9) — or, on a very fast machine, by the
+    # instruction budget (6). Either way the boundary held.
+    set +e
+    ./target/release/rfhc client --unix "$sock" \
+        --op simulate --timeout-ms 200 examples/spin.rfasm > /dev/null 2>&1
+    rc=$?
+    set -e
+    { [ "$rc" -eq 9 ] || [ "$rc" -eq 6 ]; } \
+        || { echo "spin kernel exited $rc, want 9 (timeout) or 6 (budget)"; exit 1; }
+    # The daemon is still healthy: replay every workload concurrently and
+    # export the bench JSON.
+    ./target/release/rfhc client --unix "$sock" --replay-workloads \
+        --jobs 4 --rounds 1 --bench-json "$artifacts/BENCH_rfhd.jobs$jobs.json" \
+        2> /dev/null
+    grep -q '"schema": "rfhd-bench-v1"' "$artifacts/BENCH_rfhd.jobs$jobs.json"
+    # Drain: shutdown is acknowledged, the serve process exits 0, and the
+    # socket file is cleaned up.
+    ./target/release/rfhc client --unix "$sock" --op shutdown > /dev/null
+    wait "$serve_pid" || { echo "daemon exited non-zero after drain"; exit 1; }
+    [ ! -S "$sock" ] || { echo "socket file survived the drain"; exit 1; }
+done
+echo "daemon smoke green under RFH_JOBS=1 and RFH_JOBS=8"
+echo "replay bench: $artifacts/BENCH_rfhd.jobs1.json, $artifacts/BENCH_rfhd.jobs8.json"
+
 echo "==> panic gate (hardened crates)"
 # Non-test library code of the hardened crates must stay panic-free:
 # no .unwrap() / panic! / unreachable! / todo! outside #[cfg(test)]
 # modules. `.expect("reason")` is allowed — the reason is the review gate.
 fail=0
 for f in crates/isa/src/*.rs crates/alloc/src/*.rs crates/sim/src/*.rs \
-    crates/sim/src/*/*.rs crates/chaos/src/*.rs crates/lint/src/*.rs; do
+    crates/sim/src/*/*.rs crates/chaos/src/*.rs crates/lint/src/*.rs \
+    crates/rfhd/src/*.rs; do
     hits=$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }

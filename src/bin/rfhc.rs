@@ -24,10 +24,16 @@
 //! tested against. Both produce byte-identical traces; the flag exists so
 //! any divergence can be reproduced from the command line.
 //!
+//! The `serve` subcommand runs the compile-service daemon (`rfh-rfhd`) in
+//! the foreground; `client` drives it — one request, or the
+//! `--replay-workloads` load generator with `--bench-json` output.
+//!
 //! Exit codes are stable per error class (see `docs/ROBUSTNESS.md`):
 //! 0 success, 1 I/O, 2 usage, 3 parse error, 4 invalid kernel, 5 bad
-//! allocation config, 6 execution error, 8 lint errors, 70 internal
-//! panic. `rfhc lint` exits 0 when only warnings were found.
+//! allocation config, 6 execution error, 8 lint errors, 9 daemon failure
+//! (protocol violation, timeout, overload), 70 internal panic. `rfhc
+//! lint` exits 0 when only warnings were found; `rfhc client` maps a
+//! daemon error frame to the frame's own class code.
 
 use std::io::Read;
 use std::process::exit;
@@ -44,7 +50,13 @@ const USAGE: &str = "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-part
      [--baseline]\n\
              [--json | --chrome | --profile] [--ctas N] [--threads N] \
      [--engine soa|reference] [--jobs N]\n\
-             <kernel.rfasm | ->";
+             <kernel.rfasm | ->\n\
+       rfhc serve (--tcp HOST:PORT | --unix PATH) [--workers N]\n\
+       rfhc client (--tcp HOST:PORT | --unix PATH) [--op OP] [--workload NAME] \
+     [--timeout-ms N]\n\
+             [--replay-workloads [--jobs N] [--rounds N] [--bench-json PATH]] \
+     [--malformed-probe]\n\
+             [<kernel.rfasm | ->]";
 
 fn usage(msg: &str) -> RfhError {
     RfhError::Usage(format!("{msg}\n{USAGE}"))
@@ -87,6 +99,14 @@ fn real_main() -> Result<(), RfhError> {
     if args.peek().map(String::as_str) == Some("trace") {
         args.next();
         return trace_main(args);
+    }
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        return serve_main(args);
+    }
+    if args.peek().map(String::as_str) == Some("client") {
+        args.next();
+        return client_main(args);
     }
 
     let mut config = AllocConfig::three_level(3, true);
@@ -347,6 +367,234 @@ fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Re
         profiler.total_energy().total()
     );
     Ok(())
+}
+
+/// Parses the shared `--tcp HOST:PORT | --unix PATH` endpoint flags.
+/// Returns `None` when the argument is not an endpoint flag.
+fn parse_endpoint_flag(
+    arg: &str,
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    endpoint: &mut Option<rfh::rfhd::Endpoint>,
+) -> Result<bool, RfhError> {
+    match arg {
+        "--tcp" => {
+            let addr = args.next().ok_or_else(|| usage("--tcp needs HOST:PORT"))?;
+            *endpoint = Some(rfh::rfhd::Endpoint::Tcp(addr));
+            Ok(true)
+        }
+        "--unix" => {
+            let path = args.next().ok_or_else(|| usage("--unix needs a path"))?;
+            *endpoint = Some(rfh::rfhd::Endpoint::Unix(path.into()));
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// The `rfhc serve` subcommand: run the compile-service daemon in the
+/// foreground until a `shutdown` request drains it.
+///
+/// The `RFHD_TIMEOUT_MS`, `RFHD_QUEUE_DEPTH`, and `RFHD_CACHE_ENTRIES`
+/// environment knobs configure the per-request wall-clock timeout, the
+/// accept-queue depth, and the result-cache capacity; all three follow
+/// the shared knob grammar (decimal or `0x`-hex, loud warning and
+/// fallback on a malformed value).
+fn serve_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Result<(), RfhError> {
+    let mut endpoint: Option<rfh::rfhd::Endpoint> = None;
+    let mut workers: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        if parse_endpoint_flag(&arg, &mut args, &mut endpoint)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--workers" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| usage("--workers needs a value"))?;
+                workers = Some(
+                    rfh_testkit::env::parse_positive_usize("--workers", &raw)
+                        .ok_or_else(|| usage("--workers needs a positive integer"))?,
+                );
+            }
+            "--help" | "-h" => return Err(usage("")),
+            other => return Err(usage(&format!("unrecognized argument `{other}`"))),
+        }
+    }
+    let endpoint = endpoint.ok_or_else(|| usage("serve needs --tcp HOST:PORT or --unix PATH"))?;
+    let mut cfg = rfh::rfhd::ServerConfig::from_env(endpoint);
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+    let server = rfh::rfhd::Server::bind(cfg).map_err(|e| RfhError::Daemon {
+        message: format!("cannot bind: {e}"),
+        code: 9,
+    })?;
+    eprintln!("rfhc serve: listening on {}", server.endpoint());
+    let report = server.run().map_err(|e| RfhError::Daemon {
+        message: format!("accept loop failed: {e}"),
+        code: 9,
+    })?;
+    eprintln!(
+        "rfhc serve: drained — {} served, {} shed, {} timeout(s), {} compute panic(s), \
+         {} pool panic(s), {} in flight",
+        report.served,
+        report.shed,
+        report.timeouts,
+        report.compute_panics,
+        report.pool_panics,
+        report.in_flight_at_exit
+    );
+    Ok(())
+}
+
+/// The `rfhc client` subcommand: one request against a daemon, or the
+/// `--replay-workloads` load generator.
+///
+/// Single-request mode sends `--op` (default `ping`) with either a
+/// kernel file (positional, `-` for stdin) or `--workload NAME`, prints
+/// the `result` JSON on stdout, and exits with the error frame's own
+/// class code on failure — remote failures script exactly like local
+/// ones.
+fn client_main(
+    mut args: std::iter::Peekable<impl Iterator<Item = String>>,
+) -> Result<(), RfhError> {
+    let mut endpoint: Option<rfh::rfhd::Endpoint> = None;
+    let mut op = "ping".to_string();
+    let mut workload: Option<String> = None;
+    let mut input: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut replay = false;
+    let mut malformed = false;
+    let mut rounds: usize = 2;
+    let mut jobs: usize = rfh_testkit::pool::jobs();
+    let mut bench_json: Option<String> = None;
+
+    while let Some(arg) = args.next() {
+        if parse_endpoint_flag(&arg, &mut args, &mut endpoint)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--op" => op = args.next().ok_or_else(|| usage("--op needs a value"))?,
+            "--workload" => {
+                workload = Some(
+                    args.next()
+                        .ok_or_else(|| usage("--workload needs a name"))?,
+                )
+            }
+            "--timeout-ms" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| usage("--timeout-ms needs a value"))?;
+                timeout_ms = Some(
+                    rfh_testkit::env::parse_u64("--timeout-ms", &raw)
+                        .ok_or_else(|| usage("--timeout-ms needs an integer"))?,
+                );
+            }
+            "--replay-workloads" => replay = true,
+            "--malformed-probe" => malformed = true,
+            "--rounds" => {
+                let raw = args.next().ok_or_else(|| usage("--rounds needs a value"))?;
+                rounds = rfh_testkit::env::parse_positive_usize("--rounds", &raw)
+                    .ok_or_else(|| usage("--rounds needs a positive integer"))?;
+            }
+            "--jobs" => {
+                let raw = args.next().ok_or_else(|| usage("--jobs needs a value"))?;
+                jobs = rfh_testkit::env::parse_positive_usize("--jobs", &raw)
+                    .ok_or_else(|| usage("--jobs needs a positive integer"))?;
+            }
+            "--bench-json" => {
+                bench_json = Some(
+                    args.next()
+                        .ok_or_else(|| usage("--bench-json needs a path"))?,
+                )
+            }
+            "--help" | "-h" => return Err(usage("")),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.into()),
+            other => return Err(usage(&format!("unrecognized argument `{other}`"))),
+        }
+    }
+    let endpoint = endpoint.ok_or_else(|| usage("client needs --tcp HOST:PORT or --unix PATH"))?;
+
+    if malformed {
+        // Diagnostic: send a deliberately malformed frame. A healthy
+        // daemon answers a structured `protocol` error frame; the probe
+        // then exits with that frame's class code (9), exactly as any
+        // request reporting that class would — so the CI smoke can
+        // assert the framing layer fails closed.
+        return match rfh::rfhd::malformed_probe(&endpoint) {
+            Ok(frame) => Err(RfhError::Daemon {
+                code: frame.kind.exit_code(),
+                message: format!("malformed-frame probe answered: {frame}"),
+            }),
+            Err(e) => Err(RfhError::Daemon {
+                code: e.exit_code(),
+                message: format!("malformed-frame probe misbehaved: {e}"),
+            }),
+        };
+    }
+
+    if replay {
+        let report =
+            rfh::rfhd::replay_workloads(&endpoint, jobs, rounds, rfh::rfhd::RetryPolicy::default());
+        eprintln!(
+            "rfhc client: replayed {} request(s) with {} job(s) in {} ms — {} ok \
+             ({} cached), {} failed",
+            report.entries.len(),
+            report.jobs,
+            report.wall_ms,
+            report.ok(),
+            report.cached(),
+            report.failed()
+        );
+        if let Some(path) = bench_json {
+            let rendered = report.bench_json();
+            if path == "-" {
+                print!("{rendered}");
+            } else {
+                std::fs::write(&path, rendered).map_err(|source| RfhError::Io { path, source })?;
+            }
+        }
+        if report.failed() > 0 {
+            return Err(RfhError::Daemon {
+                message: format!("{} replay request(s) failed", report.failed()),
+                code: 9,
+            });
+        }
+        return Ok(());
+    }
+
+    let mut fields = vec![("op".to_string(), rfh::rfhd::Json::str(&op))];
+    match (&workload, &input) {
+        (Some(_), Some(_)) => {
+            return Err(usage("--workload and a kernel file are mutually exclusive"))
+        }
+        (Some(name), None) => {
+            fields.push(("workload".to_string(), rfh::rfhd::Json::str(name)));
+        }
+        (None, Some(path)) => {
+            let text = read_input(path)?;
+            fields.push(("kernel".to_string(), rfh::rfhd::Json::str(&text)));
+        }
+        (None, None) => {}
+    }
+    if let Some(ms) = timeout_ms {
+        fields.push(("timeout_ms".to_string(), rfh::rfhd::Json::u64(ms)));
+    }
+    let mut client = rfh::rfhd::Client::new(endpoint, rfh::rfhd::RetryPolicy::default());
+    match client.request(fields) {
+        Ok((result, cached)) => {
+            println!("{}", result.render());
+            if cached {
+                eprintln!("rfhc client: served from daemon cache");
+            }
+            Ok(())
+        }
+        Err(e) => Err(RfhError::Daemon {
+            code: e.exit_code(),
+            message: e.to_string(),
+        }),
+    }
 }
 
 /// Reads the kernel text from a file path or stdin (`-`).

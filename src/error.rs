@@ -20,7 +20,14 @@
 //! | 6    | execution error                             |
 //! | 7    | timing-model error (deadlock, cycle budget) |
 //! | 8    | lint errors reported by `rfhc lint`         |
+//! | 9    | daemon failure (protocol, timeout, overload)|
 //! | 70   | internal panic caught at the driver boundary|
+//!
+//! `rfhc client` additionally maps error frames reported by a daemon back
+//! onto this same table using the frame's own class code (a `parse` frame
+//! exits 3, a `lint` frame exits 8, …), so scripting against the daemon
+//! feels exactly like scripting against the local pipeline; code 9 covers
+//! the failures only a daemon can have.
 
 use std::fmt;
 
@@ -59,6 +66,17 @@ pub enum RfhError {
         /// Number of error-severity findings.
         errors: usize,
     },
+    /// A daemon-side failure (`rfhc serve` / `rfhc client`): transport
+    /// errors, protocol violations, wall-clock timeouts, load shedding.
+    /// Carries the exact exit code because error frames map back onto
+    /// this whole table, not just to 9 (see [`RfhError::exit_code`]).
+    Daemon {
+        /// Description of the failure.
+        message: String,
+        /// The stable exit code reported by the error-frame class, or 9
+        /// for transport-level failures.
+        code: i32,
+    },
 }
 
 impl RfhError {
@@ -77,6 +95,7 @@ impl RfhError {
             RfhError::Exec(_) => 6,
             RfhError::Timing(_) => 7,
             RfhError::Lint { .. } => 8,
+            RfhError::Daemon { code, .. } => *code,
         }
     }
 }
@@ -95,6 +114,7 @@ impl fmt::Display for RfhError {
                 "lint found {errors} error{}",
                 if *errors == 1 { "" } else { "s" }
             ),
+            RfhError::Daemon { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -109,6 +129,7 @@ impl std::error::Error for RfhError {
             RfhError::Exec(e) => Some(e),
             RfhError::Timing(e) => Some(e),
             RfhError::Lint { .. } => None,
+            RfhError::Daemon { .. } => None,
         }
     }
 }
@@ -163,8 +184,24 @@ mod tests {
             RfhError::Alloc(AllocError::Config("cfg".into())).exit_code(),
             RfhError::Timing(TimingError::Deadlock { cycle: 3 }).exit_code(),
             RfhError::Lint { errors: 2 }.exit_code(),
+            RfhError::Daemon {
+                message: "daemon connection failed".into(),
+                code: 9,
+            }
+            .exit_code(),
         ];
-        assert_eq!(codes, [1, 2, 3, 4, 5, 7, 8]);
+        assert_eq!(codes, [1, 2, 3, 4, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn daemon_errors_carry_the_frame_class_code() {
+        // An error frame from the daemon keeps its own class code, so a
+        // parse failure exits 3 whether it happened locally or remotely.
+        let remote_parse = RfhError::Daemon {
+            message: "daemon error: parse: line 1: junk".into(),
+            code: 3,
+        };
+        assert_eq!(remote_parse.exit_code(), 3);
     }
 
     #[test]

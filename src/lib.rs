@@ -21,7 +21,9 @@
 //! * [`sim`] — executor, HW cache models, scheduler timing;
 //! * [`workloads`] — benchmark suites and the random kernel generator;
 //! * [`experiments`] — per-figure/table experiment runners;
-//! * [`lint`] — the static analyzer behind `rfhc lint` (RFH-L0xx codes).
+//! * [`lint`] — the static analyzer behind `rfhc lint` (RFH-L0xx codes);
+//! * [`rfhd`] — the compile-service daemon behind `rfhc serve` and its
+//!   deterministic client (`rfhc client`).
 //!
 //! ## Quickstart
 //!
@@ -61,5 +63,6 @@ pub use rfh_energy as energy;
 pub use rfh_experiments as experiments;
 pub use rfh_isa as isa;
 pub use rfh_lint as lint;
+pub use rfh_rfhd as rfhd;
 pub use rfh_sim as sim;
 pub use rfh_workloads as workloads;

@@ -351,3 +351,223 @@ fn config_flags_change_the_allocation() {
     assert!(stderr.contains("no LRF"), "{stderr}");
     assert!(stderr.contains("0 LRF values"), "{stderr}");
 }
+
+// --- rfhc serve / rfhc client ------------------------------------------
+
+#[test]
+fn serve_without_an_endpoint_is_a_usage_error() {
+    let out = rfhc(&["serve"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("serve needs --tcp HOST:PORT or --unix PATH"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn client_without_an_endpoint_is_a_usage_error() {
+    let out = rfhc(&["client", "--op", "ping"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("client needs --tcp HOST:PORT or --unix PATH"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn client_workload_and_file_are_mutually_exclusive() {
+    let out = rfhc(&[
+        "client",
+        "--unix",
+        "/tmp/does-not-matter.sock",
+        "--workload",
+        "vectoradd",
+        "x.rfasm",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn client_connect_refused_exits_with_the_transport_code() {
+    // No daemon on that socket: dialing fails even after retries, and
+    // transport failures map to the protocol/transport exit code (9).
+    let out = rfhc(&[
+        "client",
+        "--unix",
+        "/nonexistent/rfhd-no-such-daemon.sock",
+        "--op",
+        "ping",
+    ]);
+    assert_eq!(out.status.code(), Some(9), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("daemon connection failed"), "{stderr}");
+}
+
+/// Spawns `rfhc serve --unix <sock>` with the given extra environment
+/// and waits until the socket file exists (the daemon binds before it
+/// prints anything, so the file is the readiness signal).
+fn spawn_serve(sock: &std::path::Path, env: &[(&str, &str)]) -> std::process::Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rfhc"));
+    cmd.args(["serve", "--unix", sock.to_str().unwrap(), "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().expect("spawn rfhc serve");
+    for _ in 0..100 {
+        if sock.exists() {
+            return child;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // Reap the stuck daemon before failing so the test leaves no zombie.
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("daemon socket never appeared at {}", sock.display());
+}
+
+fn client(sock: &std::path::Path, args: &[&str]) -> Output {
+    let mut full = vec!["client", "--unix", sock.to_str().unwrap()];
+    full.extend_from_slice(args);
+    rfhc(&full)
+}
+
+#[test]
+fn serve_client_round_trip_over_a_unix_socket() {
+    let dir = std::env::temp_dir().join("rfhc-cli-daemon-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("roundtrip.sock");
+    let _ = std::fs::remove_file(&sock);
+    let child = spawn_serve(&sock, &[]);
+
+    // A ping round-trips.
+    let out = client(&sock, &["--op", "ping"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("pong"),
+        "{out:?}"
+    );
+
+    // A malformed frame gets a structured protocol error frame back,
+    // which the probe maps to exit code 9 — and the daemon survives it.
+    let out = client(&sock, &["--malformed-probe"]);
+    assert_eq!(out.status.code(), Some(9), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("malformed-frame probe answered"),
+        "{stderr}"
+    );
+
+    // A remote parse failure carries the local parse exit code (3).
+    let out = rfhc_stdin(
+        &[
+            "client",
+            "--unix",
+            sock.to_str().unwrap(),
+            "--op",
+            "lint",
+            "-",
+        ],
+        "not a kernel\n",
+    );
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+
+    // Still alive after both failures: a second ping succeeds, served
+    // from the same process.
+    let out = client(&sock, &["--op", "ping"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Shutdown drains: the serve process exits 0 and removes its socket.
+    let out = client(&sock, &["--op", "shutdown"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let served = child.wait_with_output().expect("wait rfhc serve");
+    assert_eq!(served.status.code(), Some(0), "{served:?}");
+    assert!(!sock.exists(), "socket file survived the drain");
+    let stderr = String::from_utf8_lossy(&served.stderr);
+    assert!(stderr.contains("rfhc serve: drained"), "{stderr}");
+}
+
+#[test]
+fn malformed_rfhd_knobs_warn_and_fall_back() {
+    // All three RFHD_* knobs follow the shared grammar: a malformed value
+    // warns loudly on stderr and the daemon runs on its default.
+    let dir = std::env::temp_dir().join("rfhc-cli-daemon-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("knobs.sock");
+    let _ = std::fs::remove_file(&sock);
+    let child = spawn_serve(
+        &sock,
+        &[
+            ("RFHD_TIMEOUT_MS", "soon"),
+            ("RFHD_QUEUE_DEPTH", "0"),
+            ("RFHD_CACHE_ENTRIES", "0xGG"),
+        ],
+    );
+
+    // Despite three bad knobs the daemon is healthy.
+    let out = client(&sock, &["--op", "ping"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = client(&sock, &["--op", "shutdown"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let served = child.wait_with_output().expect("wait rfhc serve");
+    assert_eq!(served.status.code(), Some(0), "{served:?}");
+    let stderr = String::from_utf8_lossy(&served.stderr);
+    assert!(
+        stderr.contains("warning: RFHD_TIMEOUT_MS=\"soon\" is not a valid integer"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("warning: RFHD_QUEUE_DEPTH=0 is not a valid count"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("warning: RFHD_CACHE_ENTRIES=\"0xGG\" is not a valid integer"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn client_timeout_flag_bounds_a_runaway_kernel() {
+    // An infinite loop submitted with a tight wall-clock timeout comes
+    // back as a structured timeout (9) or budget-exhaustion (6) frame —
+    // either way the isolation boundary held and the daemon lives on.
+    let dir = std::env::temp_dir().join("rfhc-cli-daemon-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("timeout.sock");
+    let _ = std::fs::remove_file(&sock);
+    let child = spawn_serve(&sock, &[]);
+
+    let spin = ".kernel spin\nBB0:\n  mov r0, %tid.x\n  iadd r0 r0, 1\n  bra BB0\n";
+    let out = rfhc_stdin(
+        &[
+            "client",
+            "--unix",
+            sock.to_str().unwrap(),
+            "--op",
+            "simulate",
+            "--timeout-ms",
+            "100",
+            "-",
+        ],
+        spin,
+    );
+    let code = out.status.code();
+    assert!(
+        code == Some(9) || code == Some(6),
+        "spin must hit the timeout (9) or the instruction budget (6): {out:?}"
+    );
+
+    // The worker that ran the spin is reclaimed; the daemon still serves.
+    let out = client(&sock, &["--op", "ping"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = client(&sock, &["--op", "shutdown"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let served = child.wait_with_output().expect("wait rfhc serve");
+    assert_eq!(served.status.code(), Some(0), "{served:?}");
+}
