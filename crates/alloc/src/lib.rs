@@ -76,5 +76,8 @@ pub mod validate;
 pub use config::{AllocConfig, LrfMode};
 pub use costs::Costs;
 pub use error::AllocError;
-pub use pass::{allocate, AllocStats};
+pub use pass::{
+    allocate, allocate_incremental, strand_fingerprint, AllocStats, IncrementalStats,
+    StrandAllocation,
+};
 pub use validate::validate_placements;

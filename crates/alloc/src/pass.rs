@@ -2,9 +2,9 @@
 
 use std::collections::HashSet;
 
-use rfh_analysis::defuse::{all_strand_values, StrandValues};
+use rfh_analysis::defuse::{all_strand_values, strand_values, StrandValues};
 use rfh_analysis::liveness::{annotate_dead, Liveness};
-use rfh_analysis::strand::{mark_strands_opts, StrandOpts};
+use rfh_analysis::strand::{mark_strands_opts, strand_canonical, StrandOpts};
 use rfh_analysis::{DomTree, ReadRef};
 use rfh_energy::EnergyModel;
 use rfh_isa::{Kernel, ReadLoc, Unit, Width, WriteLoc};
@@ -509,6 +509,158 @@ pub fn allocate(
     Ok(stats)
 }
 
+/// The allocation of one strand, detached from any particular kernel:
+/// placement annotations per strand-relative instruction plus that
+/// strand's contribution to [`AllocStats`]. Cached under the strand's
+/// [fingerprint](strand_fingerprint) by [`allocate_incremental`] and
+/// spliced back instead of re-running analysis + allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrandAllocation {
+    /// `(write_loc, read_locs)` per instruction, in strand layout order.
+    pub placements: Vec<(WriteLoc, Vec<ReadLoc>)>,
+    /// Value instances this strand placed in the LRF.
+    pub lrf_values: usize,
+    /// Value instances this strand placed fully in the ORF.
+    pub orf_values: usize,
+    /// Partial ranges this strand allocated (§4.3).
+    pub orf_partial: usize,
+    /// Read-operand ranges this strand allocated (§4.4).
+    pub read_operands: usize,
+}
+
+/// Incremental-allocation counters: how much work the cache saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Strands in the kernel.
+    pub strands: usize,
+    /// Strands spliced from cache (analysis + allocation skipped).
+    pub hits: usize,
+    /// Strands analyzed and allocated from scratch.
+    pub misses: usize,
+}
+
+/// The cache key for one strand's allocation: the strand-relative
+/// canonical text ([`rfh_analysis::strand::strand_canonical`]) salted with
+/// everything else that determines placement — the allocation
+/// configuration and the energy model's cost surface.
+pub fn strand_fingerprint(canonical: &str, config: &AllocConfig, model: &EnergyModel) -> String {
+    format!("{canonical}\0cfg={config:?}\0model={model:?}")
+}
+
+/// Incremental [`allocate`]: identical output, but each strand's
+/// allocation is looked up in an external cache by content fingerprint
+/// before being recomputed.
+///
+/// For every strand the fingerprint ([`strand_fingerprint`] over
+/// [`strand_canonical`]) is offered to `lookup`; a hit splices the cached
+/// placements onto the strand's instructions, a miss runs the monolithic
+/// per-strand pipeline (def-use analysis + LRF/ORF allocation) and offers
+/// the result to `publish`. Because [`strand_canonical`] captures every
+/// input the per-strand allocator reads — and the per-strand allocator
+/// only ever writes its own strand's placement annotations — the
+/// recombined kernel and [`AllocStats`] are **byte-identical** to a
+/// monolithic [`allocate`] run, whatever mixture of hits and misses
+/// occurs. A cached entry whose shape does not match the strand (placement
+/// count or per-instruction operand count) is ignored and recomputed, so a
+/// corrupted cache degrades to a slower run, never a wrong one.
+///
+/// # Errors
+///
+/// Exactly as [`allocate`]: [`AllocError::InvalidKernel`] for structurally
+/// invalid input, [`AllocError::Config`] for inconsistent configuration.
+pub fn allocate_incremental(
+    kernel: &mut Kernel,
+    config: &AllocConfig,
+    model: &EnergyModel,
+    lookup: &mut dyn FnMut(&str) -> Option<StrandAllocation>,
+    publish: &mut dyn FnMut(&str, &StrandAllocation),
+) -> Result<(AllocStats, IncrementalStats), AllocError> {
+    rfh_isa::validate(kernel)?;
+    reset_placements(kernel);
+
+    let info = mark_strands_opts(
+        kernel,
+        StrandOpts {
+            split_on_deschedule: !config.ideal_no_deschedule_split,
+        },
+    );
+    let liveness = Liveness::compute(kernel);
+    annotate_dead(kernel, &liveness);
+
+    let mut stats = AllocStats {
+        strands: info.strands.len(),
+        ..Default::default()
+    };
+    let mut inc = IncrementalStats {
+        strands: info.strands.len(),
+        ..Default::default()
+    };
+    if config.is_baseline() {
+        return Ok((stats, inc));
+    }
+
+    let costs = Costs::from_model(model, config.orf_entries);
+    let dom = DomTree::dominators(kernel);
+    for sid in info.strands.iter().map(|s| s.id) {
+        let canonical = strand_canonical(kernel, &info, &liveness, &dom, sid);
+        let fp = strand_fingerprint(&canonical, config, model);
+        let instrs = &info.strand(sid).instrs;
+        if let Some(cached) = lookup(&fp).filter(|c| splice_fits(kernel, instrs, c)) {
+            for (at, (write_loc, read_locs)) in instrs.iter().zip(&cached.placements) {
+                let instr = kernel.instr_mut(*at);
+                instr.write_loc = *write_loc;
+                instr.read_locs.clone_from(read_locs);
+            }
+            stats.lrf_values += cached.lrf_values;
+            stats.orf_values += cached.orf_values;
+            stats.orf_partial += cached.orf_partial;
+            stats.read_operands += cached.read_operands;
+            inc.hits += 1;
+            continue;
+        }
+        let sv = strand_values(kernel, &info, &liveness, sid);
+        let mut local = AllocStats::default();
+        allocate_strand(kernel, &sv, config, &costs, &dom, &mut local)?;
+        stats.lrf_values += local.lrf_values;
+        stats.orf_values += local.orf_values;
+        stats.orf_partial += local.orf_partial;
+        stats.read_operands += local.read_operands;
+        inc.misses += 1;
+        publish(
+            &fp,
+            &StrandAllocation {
+                placements: instrs
+                    .iter()
+                    .map(|at| {
+                        let i = kernel.instr(*at);
+                        (i.write_loc, i.read_locs.clone())
+                    })
+                    .collect(),
+                lrf_values: local.lrf_values,
+                orf_values: local.orf_values,
+                orf_partial: local.orf_partial,
+                read_operands: local.read_operands,
+            },
+        );
+    }
+
+    if validate_placements(kernel, config).is_err() {
+        stats = demote_to_mrf(kernel, stats);
+    }
+    Ok((stats, inc))
+}
+
+/// Whether a cached strand allocation structurally fits the strand it is
+/// about to be spliced onto (defense against a corrupted or colliding
+/// cache entry — a mismatch falls back to recomputation).
+fn splice_fits(kernel: &Kernel, instrs: &[rfh_isa::InstrRef], cached: &StrandAllocation) -> bool {
+    cached.placements.len() == instrs.len()
+        && instrs
+            .iter()
+            .zip(&cached.placements)
+            .all(|(at, (_, read_locs))| kernel.instr(*at).read_locs.len() == read_locs.len())
+}
+
 /// Graceful degradation: discards all hierarchy placements, leaving the
 /// kernel on the always-correct MRF-only baseline, and records the demotion
 /// in the returned stats.
@@ -920,6 +1072,134 @@ BB0:
             ),
             "dead value should die in the ORF"
         );
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use crate::config::AllocConfig;
+    use rfh_isa::parse_kernel;
+    use std::collections::HashMap;
+
+    const KERNEL: &str = "
+.kernel inc
+BB0:
+  mov r0, %tid.x
+  ld.global r1 r0
+  iadd r2 r1, 1
+  iadd r3 r2, r0
+  st.global r0, r3
+  ld.global r4 r0
+  iadd r5 r4, 2
+  st.global r0, r5
+  exit
+";
+
+    fn run_incremental(
+        text: &str,
+        config: &AllocConfig,
+        cache: &mut HashMap<String, StrandAllocation>,
+    ) -> (Kernel, AllocStats, IncrementalStats) {
+        let mut k = parse_kernel(text).unwrap();
+        let model = EnergyModel::paper();
+        let (stats, inc) = {
+            let cache_ref = std::cell::RefCell::new(cache);
+            allocate_incremental(
+                &mut k,
+                config,
+                &model,
+                &mut |fp| cache_ref.borrow().get(fp).cloned(),
+                &mut |fp, sa| {
+                    cache_ref.borrow_mut().insert(fp.to_string(), sa.clone());
+                },
+            )
+            .expect("valid kernel")
+        };
+        (k, stats, inc)
+    }
+
+    #[test]
+    fn cold_incremental_matches_monolithic() {
+        for config in [
+            AllocConfig::baseline(),
+            AllocConfig::two_level_plain(3),
+            AllocConfig::two_level(3),
+            AllocConfig::three_level(3, true),
+        ] {
+            let mut mono = parse_kernel(KERNEL).unwrap();
+            let mono_stats = allocate(&mut mono, &config, &EnergyModel::paper()).unwrap();
+            let mut cache = HashMap::new();
+            let (k, stats, inc) = run_incremental(KERNEL, &config, &mut cache);
+            assert_eq!(k, mono, "{config:?}");
+            assert_eq!(stats, mono_stats, "{config:?}");
+            assert_eq!(inc.hits, 0, "cold cache cannot hit");
+        }
+    }
+
+    #[test]
+    fn warm_incremental_splices_every_strand() {
+        let config = AllocConfig::three_level(3, true);
+        let mut mono = parse_kernel(KERNEL).unwrap();
+        let mono_stats = allocate(&mut mono, &config, &EnergyModel::paper()).unwrap();
+
+        let mut cache = HashMap::new();
+        let (_, _, cold) = run_incremental(KERNEL, &config, &mut cache);
+        assert_eq!(cold.misses, cold.strands);
+        let (k, stats, warm) = run_incremental(KERNEL, &config, &mut cache);
+        assert_eq!(warm.hits, warm.strands, "warm run must be all hits");
+        assert_eq!(warm.misses, 0);
+        assert_eq!(k, mono, "spliced kernel is byte-identical");
+        assert_eq!(stats, mono_stats);
+    }
+
+    #[test]
+    fn single_strand_edit_recomputes_only_that_strand() {
+        let config = AllocConfig::three_level(3, true);
+        let mut cache = HashMap::new();
+        let (_, _, cold) = run_incremental(KERNEL, &config, &mut cache);
+        assert!(cold.strands >= 3, "kernel should have several strands");
+
+        // Mutate an immediate inside the middle strand only.
+        let edited = KERNEL.replace("iadd r2 r1, 1", "iadd r2 r1, 7");
+        assert_ne!(edited, KERNEL);
+        let (k, stats, inc) = run_incremental(&edited, &config, &mut cache);
+        assert_eq!(inc.misses, 1, "only the edited strand recomputes");
+        assert_eq!(inc.hits, inc.strands - 1);
+
+        let mut mono = parse_kernel(&edited).unwrap();
+        let mono_stats = allocate(&mut mono, &config, &EnergyModel::paper()).unwrap();
+        assert_eq!(k, mono);
+        assert_eq!(stats, mono_stats);
+    }
+
+    #[test]
+    fn misshapen_cache_entry_is_recomputed_not_spliced() {
+        let config = AllocConfig::two_level(3);
+        let mut cache = HashMap::new();
+        let (_, _, _) = run_incremental(KERNEL, &config, &mut cache);
+        // Corrupt every entry's shape.
+        for sa in cache.values_mut() {
+            sa.placements.pop();
+        }
+        let (k, stats, inc) = run_incremental(KERNEL, &config, &mut cache);
+        assert_eq!(inc.hits, 0, "misshapen entries must not splice");
+        let mut mono = parse_kernel(KERNEL).unwrap();
+        let mono_stats = allocate(&mut mono, &config, &EnergyModel::paper()).unwrap();
+        assert_eq!(k, mono);
+        assert_eq!(stats, mono_stats);
+    }
+
+    #[test]
+    fn fingerprint_separates_config_and_model() {
+        let canon = "strand-canon-v1\n";
+        let a = strand_fingerprint(canon, &AllocConfig::two_level(3), &EnergyModel::paper());
+        let b = strand_fingerprint(canon, &AllocConfig::two_level(4), &EnergyModel::paper());
+        assert_ne!(a, b);
+        let mut model = EnergyModel::paper();
+        model.mrf_read_pj *= 2.0;
+        let c = strand_fingerprint(canon, &AllocConfig::two_level(3), &model);
+        assert_ne!(a, c);
     }
 }
 

@@ -35,4 +35,4 @@ pub use bitset::RegSet;
 pub use defuse::{ReadRef, StrandValues, ValueInstance};
 pub use dom::DomTree;
 pub use liveness::Liveness;
-pub use strand::{EndReason, Strand, StrandId, StrandInfo, StrandOpts};
+pub use strand::{strand_canonical, EndReason, Strand, StrandId, StrandInfo, StrandOpts};

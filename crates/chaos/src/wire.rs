@@ -21,7 +21,14 @@
 //!   close, modelling a client that dies mid-write;
 //! * **slow writer** — a frame stalled mid-payload past the daemon's
 //!   socket read timeout, modelling a wedged client that would otherwise
-//!   pin a worker forever.
+//!   pin a worker forever;
+//! * **edit storm** — repeated re-submissions of one kernel with seeded
+//!   single-immediate edits, interleaved with the pristine original: the
+//!   daemon's incremental strand cache must never change an answer (zero
+//!   divergence on the semantic fields — the `strand_hits` /
+//!   `strand_misses` counters legitimately vary with cache warmth), and
+//!   the strand cache must stay within its configured capacity (bounded
+//!   memory).
 //!
 //! The contract (asserted by `harness::run_protocol_layer`): every fault
 //! is answered with a structured error frame or a connection teardown —
@@ -84,14 +91,15 @@ pub fn inject(addr: &str, io_timeout_ms: u64, rng: &mut SmallRng) -> Result<Obse
     let guard = Duration::from_millis(HARNESS_GUARD_MS);
     conn.set_read_timeout(Some(guard)).ok();
     conn.set_write_timeout(Some(guard)).ok();
-    match rng.gen_range(0u32..7) {
+    match rng.gen_range(0u32..8) {
         0 => well_formed(conn, rng),
         1 => garbage_json(conn, rng),
         2 => truncated_frame(conn, rng),
         3 => garbage_bytes(conn, rng),
         4 => oversized_prefix(conn, rng),
         5 => mid_request_disconnect(conn, rng),
-        _ => slow_writer(conn, io_timeout_ms, rng),
+        6 => slow_writer(conn, io_timeout_ms, rng),
+        _ => edit_storm(conn, rng),
     }
 }
 
@@ -331,6 +339,162 @@ fn slow_writer(
         // the complete frame — a legal outcome, not a violation.
         Reply::Ok => Ok(Observation::Succeeded),
     }
+}
+
+/// Renders the edit-storm kernel with its editable immediate: the second
+/// `iadd`'s constant is the single strand-local edit knob.
+fn storm_kernel(k: i32) -> String {
+    format!(
+        "
+.kernel storm
+BB0:
+  mov r0, %tid.x
+  ld.global r1 r0
+  iadd r2 r1, 1
+  iadd r3 r2, {k}
+  st.global r0, r3
+  exit
+"
+    )
+}
+
+/// Sends one request on the raw connection and decodes the reply payload.
+fn storm_roundtrip(conn: &mut TcpStream, payload: &str) -> Result<Result<Json, ErrorKind>, String> {
+    proto::write_frame(conn, payload).map_err(|e| format!("edit-storm write: {e}"))?;
+    match proto::read_frame(conn, proto::DEFAULT_MAX_FRAME) {
+        Ok(Some(frame)) => {
+            let (_, outcome) = proto::decode_response(&frame)
+                .map_err(|e| format!("daemon sent an undecodable frame: {e}"))?;
+            Ok(outcome
+                .map(|(payload, _cached)| payload)
+                .map_err(|f| f.kind))
+        }
+        Ok(None) => Err("edit storm: connection closed mid-storm".into()),
+        Err(e) => Err(format!("edit storm: read failed: {e}")),
+    }
+}
+
+/// The semantic view of an `allocate` response: everything except the
+/// cache-warmth-dependent `strand_hits` / `strand_misses` counters, which
+/// legitimately differ between a cold and a warm strand cache.
+fn semantic_view(payload: &Json) -> Json {
+    match payload {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "strand_hits" && k != "strand_misses")
+                .map(|(k, v)| (k.clone(), semantic_view(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn edit_storm(mut conn: TcpStream, rng: &mut SmallRng) -> Result<Observation, String> {
+    // Repeated mutated re-submissions of one kernel through the daemon's
+    // incremental allocation path. Divergence oracle: the pristine
+    // original, re-submitted after every edit, must keep drawing a
+    // semantically identical response no matter what the strand cache
+    // has absorbed in between. Memory oracle: the strand cache never
+    // exceeds its configured capacity.
+    let mut id = rng.gen_range(1u64..1_000_000);
+    let mut next_id = || {
+        id += 1;
+        id
+    };
+    let request = |id: u64, kernel: &str| {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::str(proto::SCHEMA)),
+            ("id".to_string(), Json::u64(id)),
+            ("op".to_string(), Json::str("allocate")),
+            ("kernel".to_string(), Json::str(kernel)),
+        ])
+        .render()
+    };
+
+    let original = storm_kernel(1);
+    let reference = match storm_roundtrip(&mut conn, &request(next_id(), &original))? {
+        Ok(payload) => semantic_view(&payload),
+        // Being shed at admission under concurrent chaos load is the one
+        // legal error; the storm never starts.
+        Err(ErrorKind::Overloaded) => return Ok(Observation::ErrorFrame),
+        Err(kind) => return Err(format!("edit storm: seed allocate drew {}", kind.name())),
+    };
+
+    let rounds = rng.gen_range(3usize..=8);
+    for round in 0..rounds {
+        // A seeded single-immediate edit: one strand's text changes, the
+        // rest of the kernel is byte-identical.
+        let edited = storm_kernel(rng.gen_range(2i32..1_000));
+        let mutated = match storm_roundtrip(&mut conn, &request(next_id(), &edited))? {
+            Ok(payload) => semantic_view(&payload),
+            Err(kind) => {
+                return Err(format!(
+                    "edit storm round {round}: edited allocate drew {}",
+                    kind.name()
+                ))
+            }
+        };
+        // The edit must not change what allocation *is* for this kernel
+        // shape: same placements text modulo the edited constant, same
+        // stats. Cheap structural check: the semantic stats of the
+        // edited kernel match the original's (the edit touches an
+        // immediate, not the value structure).
+        if mutated.get("stats").map(semantic_view) != reference.get("stats").map(semantic_view) {
+            return Err(format!(
+                "edit storm round {round}: an immediate edit changed the allocation stats"
+            ));
+        }
+        // Zero divergence: the pristine original answers identically
+        // regardless of how warm the strand cache now is.
+        match storm_roundtrip(&mut conn, &request(next_id(), &original))? {
+            Ok(payload) => {
+                if semantic_view(&payload) != reference {
+                    return Err(format!(
+                        "edit storm round {round}: the original kernel's response diverged \
+                         after mutated re-submissions"
+                    ));
+                }
+            }
+            Err(kind) => {
+                return Err(format!(
+                    "edit storm round {round}: original re-submit drew {}",
+                    kind.name()
+                ))
+            }
+        }
+    }
+
+    // Bounded memory: the strand cache reports itself and stays within
+    // its configured capacity even under the storm.
+    let stats_req = Json::Obj(vec![
+        ("schema".to_string(), Json::str(proto::SCHEMA)),
+        ("id".to_string(), Json::u64(next_id())),
+        ("op".to_string(), Json::str("stats")),
+    ])
+    .render();
+    match storm_roundtrip(&mut conn, &stats_req)? {
+        Ok(payload) => {
+            let sc = payload
+                .get("strand_cache")
+                .ok_or("edit storm: stats response lacks a strand_cache block")?;
+            let entries = sc
+                .get("entries")
+                .and_then(Json::as_u64)
+                .ok_or("edit storm: strand_cache lacks an entries count")?;
+            let capacity = sc
+                .get("capacity")
+                .and_then(Json::as_u64)
+                .ok_or("edit storm: strand_cache lacks a capacity")?;
+            if entries > capacity {
+                return Err(format!(
+                    "edit storm: strand cache grew past its capacity ({entries} > {capacity})"
+                ));
+            }
+        }
+        Err(kind) => return Err(format!("edit storm: stats drew {}", kind.name())),
+    }
+    Ok(Observation::Succeeded)
 }
 
 #[cfg(test)]

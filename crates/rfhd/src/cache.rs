@@ -22,8 +22,69 @@
 //! replayable.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
+
+/// A collision-proof cache key: the **full canonical string** is the key;
+/// the 64-bit [`fnv1a`] digest is retained only as a fast pre-key so that
+/// `HashMap` probing does not rehash the whole string on every lookup.
+///
+/// Equality compares the pre-key first (cheap reject) and then the full
+/// canonical text, so two distinct requests whose digests collide map to
+/// *different* entries instead of silently sharing one — the bug this type
+/// replaces (`Store<u64, _>` keyed by the bare digest) served the first
+/// request's cached response to the second.
+#[derive(Debug, Clone, Eq)]
+pub struct Key {
+    hash: u64,
+    canon: String,
+}
+
+impl Key {
+    /// Keys a canonical request string.
+    pub fn new(canon: impl Into<String>) -> Key {
+        let canon = canon.into();
+        Key {
+            hash: fnv1a(canon.as_bytes()),
+            canon,
+        }
+    }
+
+    /// A key with a caller-chosen pre-key. Real 64-bit FNV-1a collisions
+    /// take ~2³² birthday work to find, so collision regression tests use
+    /// this constructor to force two distinct canonical strings onto one
+    /// pre-key.
+    pub fn with_pre_key(hash: u64, canon: impl Into<String>) -> Key {
+        Key {
+            hash,
+            canon: canon.into(),
+        }
+    }
+
+    /// The 64-bit pre-key (the FNV-1a digest for [`Key::new`] keys).
+    pub fn pre_key(&self) -> u64 {
+        self.hash
+    }
+
+    /// The full canonical string.
+    pub fn canon(&self) -> &str {
+        &self.canon
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.canon == other.canon
+    }
+}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Only the pre-key feeds the table hash; full-string comparison
+        // happens in `eq`, where colliding keys are told apart.
+        state.write_u64(self.hash);
+    }
+}
 
 /// Counters describing a store's effectiveness. All counts are since
 /// construction; `entries`/`capacity` describe the current shape.
@@ -111,6 +172,11 @@ impl<K: Eq + Hash + Clone, V: Clone> Store<K, V> {
     /// from concurrent computation of the same key are dropped and
     /// counted under [`CacheStats::races`]). Evicts the least-recently-
     /// used entry first when a bounded store is full.
+    ///
+    /// The residency check runs **before** the capacity check: an insert
+    /// that loses the first-writer race on a full store returns the
+    /// resident value immediately and never runs the O(n) eviction scan —
+    /// a racing duplicate must not evict an unrelated entry.
     pub fn insert(&self, key: K, value: V) -> V {
         let mut inner = self.lock();
         inner.tick += 1;
@@ -257,6 +323,56 @@ mod tests {
             rfh_testkit::pool::par_map(&[0u32; 16], |_| store.get_or_insert_with(5, || 500));
         assert!(results.iter().all(|&v| v == 500));
         assert_eq!(store.stats().entries, 1);
+    }
+
+    /// Satellite regression: two distinct canonical strings forced onto
+    /// one 64-bit pre-key must get separate entries and correct values —
+    /// a bare-u64-keyed store would serve the first value for both.
+    #[test]
+    fn colliding_pre_keys_get_distinct_entries() {
+        let store: Store<Key, String> = Store::unbounded();
+        let a = Key::with_pre_key(0xDEAD_BEEF, "allocate\0kernel-a");
+        let b = Key::with_pre_key(0xDEAD_BEEF, "allocate\0kernel-b");
+        assert_eq!(a.pre_key(), b.pre_key(), "precondition: pre-keys collide");
+        assert_ne!(a, b, "full keys must still differ");
+        store.insert(a.clone(), "result-a".into());
+        store.insert(b.clone(), "result-b".into());
+        assert_eq!(store.get(&a).as_deref(), Some("result-a"));
+        assert_eq!(store.get(&b).as_deref(), Some("result-b"));
+        let s = store.stats();
+        assert_eq!(s.entries, 2, "colliding keys must not share an entry");
+        assert_eq!(s.races, 0, "distinct keys are not duplicate inserts");
+    }
+
+    /// Real (unforced) keys behave like plain values.
+    #[test]
+    fn key_hashes_its_canonical_string() {
+        let k = Key::new("simulate\0workload\0fft");
+        assert_eq!(k.pre_key(), fnv1a(b"simulate\0workload\0fft"));
+        assert_eq!(k.canon(), "simulate\0workload\0fft");
+        assert_eq!(k, Key::new("simulate\0workload\0fft"));
+        assert_ne!(k, Key::new("simulate\0workload\0ffs"));
+    }
+
+    /// Satellite regression: an insert that loses the first-writer race
+    /// on a *full* store must return the resident value without evicting
+    /// anything (the residency check precedes the capacity check).
+    #[test]
+    fn full_capacity_race_does_not_evict() {
+        let store: Store<u32, u32> = Store::with_capacity(3);
+        store.insert(1, 10);
+        store.insert(2, 20);
+        store.insert(3, 30);
+        assert_eq!(store.stats().entries, 3, "precondition: store is full");
+        // Racing duplicate of a resident key while at capacity.
+        assert_eq!(store.insert(2, 99), 20, "first writer wins");
+        let s = store.stats();
+        assert_eq!(s.races, 1, "the duplicate is counted as a race");
+        assert_eq!(s.evictions, 0, "a race at capacity must not evict");
+        assert_eq!(s.entries, 3);
+        for (k, v) in [(1, 10), (2, 20), (3, 30)] {
+            assert_eq!(store.get(&k), Some(v), "entry {k} must stay resident");
+        }
     }
 
     #[test]

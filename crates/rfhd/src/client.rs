@@ -385,6 +385,195 @@ pub fn replay_workloads(
     }
 }
 
+/// Per-workload outcome of an edit-replay run: one cold `allocate`, one
+/// re-`allocate` of the same kernel with a single immediate edited.
+#[derive(Debug, Clone)]
+pub struct EditReplayEntry {
+    /// The workload name.
+    pub name: String,
+    /// Strands in the kernel (from the cold round's stats).
+    pub strands: u64,
+    /// Strand-cache misses on the cold round (== strands when the cache
+    /// started empty for this kernel).
+    pub cold_misses: u64,
+    /// Strand-cache hits on the edited round: the unchanged strands
+    /// spliced from cache.
+    pub edit_hits: u64,
+    /// Strand-cache misses on the edited round: the re-allocated strands
+    /// (at most 1 when the edit touched a single strand).
+    pub edit_misses: u64,
+    /// Whether the kernel had an editable immediate (kernels without one
+    /// are re-submitted verbatim; the edited round is then all hits).
+    pub edited: bool,
+    /// Cold-round latency in microseconds.
+    pub cold_micros: u64,
+    /// Edited-round latency in microseconds.
+    pub edit_micros: u64,
+    /// The failure, if either round failed.
+    pub error: Option<String>,
+}
+
+/// Aggregate result of `rfhc client --edit-replay`.
+#[derive(Debug, Clone)]
+pub struct EditReplayReport {
+    /// Per-workload entries.
+    pub entries: Vec<EditReplayEntry>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Full replay wall time in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl EditReplayReport {
+    /// Failed workloads.
+    pub fn failed(&self) -> usize {
+        self.entries.iter().filter(|e| e.error.is_some()).count()
+    }
+
+    /// Workloads whose edited round spliced every unchanged strand from
+    /// the strand cache (`edit_hits + edit_misses == strands` with
+    /// `edit_misses <= 1`).
+    pub fn fully_spliced(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| {
+                e.error.is_none()
+                    && e.edit_misses <= u64::from(e.edited)
+                    && e.edit_hits + e.edit_misses == e.strands
+            })
+            .count()
+    }
+
+    /// Renders the `rfhd-edit-bench-v1` JSON document: the before/after
+    /// of incremental re-allocation under a single-strand edit.
+    pub fn bench_json(&self) -> String {
+        let sum = |f: fn(&EditReplayEntry) -> u64| -> u64 { self.entries.iter().map(f).sum() };
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"rfhd-edit-bench-v1\",\n");
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"workloads\": {},\n", self.entries.len()));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed()));
+        out.push_str(&format!("  \"fully_spliced\": {},\n", self.fully_spliced()));
+        out.push_str(&format!("  \"strands\": {},\n", sum(|e| e.strands)));
+        out.push_str(&format!("  \"cold_misses\": {},\n", sum(|e| e.cold_misses)));
+        out.push_str(&format!("  \"edit_hits\": {},\n", sum(|e| e.edit_hits)));
+        out.push_str(&format!("  \"edit_misses\": {},\n", sum(|e| e.edit_misses)));
+        out.push_str(&format!(
+            "  \"cold_us\": {}, \"edit_us\": {},\n",
+            sum(|e| e.cold_micros),
+            sum(|e| e.edit_micros)
+        ));
+        out.push_str(&format!("  \"wall_ms\": {},\n", self.wall_ms));
+        out.push_str("  \"failures\": [");
+        let mut first = true;
+        for e in &self.entries {
+            if let Some(why) = &e.error {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(
+                    &Json::Obj(vec![
+                        ("workload".into(), Json::str(&e.name)),
+                        ("error".into(), Json::str(why)),
+                    ])
+                    .render(),
+                );
+            }
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Edits one integer immediate in place, returning whether the kernel had
+/// one. The edit changes a single strand's canonical text and nothing
+/// else — control flow, def/use structure, and strand boundaries are all
+/// immediate-blind.
+fn edit_one_immediate(kernel: &mut rfh_isa::Kernel) -> bool {
+    for block in &mut kernel.blocks {
+        for instr in &mut block.instrs {
+            for src in &mut instr.srcs {
+                if let rfh_isa::Operand::Imm(v) = src {
+                    *v = v.wrapping_add(1);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn strand_counter(payload: &Json, key: &str) -> Result<u64, String> {
+    payload
+        .get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("allocate response lacks stats.{key}"))
+}
+
+/// The before/after load generator for incremental allocation: for every
+/// benchmark workload, `allocate` the kernel cold, then edit exactly one
+/// immediate operand (one strand) and `allocate` again. Against a daemon
+/// with a strand cache the second round must splice every unchanged
+/// strand from cache — the report's `edit_hits` / `edit_misses` columns
+/// are the check.
+pub fn edit_replay(endpoint: &Endpoint, jobs: usize, retry: RetryPolicy) -> EditReplayReport {
+    let workloads = rfh_workloads::all();
+    let started = Instant::now();
+    let entries = rfh_testkit::pool::par_map_with_jobs(jobs, &workloads, |w| {
+        let mut policy = retry.clone();
+        policy.seed ^= crate::cache::fnv1a(w.name.as_bytes());
+        let mut client = Client::new(endpoint.clone(), policy);
+        let mut entry = EditReplayEntry {
+            name: w.name.clone(),
+            strands: 0,
+            cold_misses: 0,
+            edit_hits: 0,
+            edit_misses: 0,
+            edited: false,
+            cold_micros: 0,
+            edit_micros: 0,
+            error: None,
+        };
+        let run = |client: &mut Client, kernel: &rfh_isa::Kernel| {
+            let text = rfh_isa::printer::print_kernel(kernel);
+            let t0 = Instant::now();
+            let outcome = client.request(vec![
+                ("op".to_string(), Json::str("allocate")),
+                ("kernel".to_string(), Json::str(&text)),
+            ]);
+            let micros = t0.elapsed().as_micros() as u64;
+            match outcome {
+                Ok((payload, _)) => Ok((payload, micros)),
+                Err(e) => Err(e.to_string()),
+            }
+        };
+        let cold_edit = (|| -> Result<(), String> {
+            let (cold, cold_us) = run(&mut client, &w.kernel)?;
+            entry.cold_micros = cold_us;
+            entry.strands = strand_counter(&cold, "strands")?;
+            entry.cold_misses = strand_counter(&cold, "strand_misses")?;
+            let mut edited = w.kernel.clone();
+            entry.edited = edit_one_immediate(&mut edited);
+            let (warm, edit_us) = run(&mut client, &edited)?;
+            entry.edit_micros = edit_us;
+            entry.edit_hits = strand_counter(&warm, "strand_hits")?;
+            entry.edit_misses = strand_counter(&warm, "strand_misses")?;
+            Ok(())
+        })();
+        if let Err(why) = cold_edit {
+            entry.error = Some(why);
+        }
+        entry
+    });
+    EditReplayReport {
+        entries,
+        jobs,
+        wall_ms: started.elapsed().as_millis() as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

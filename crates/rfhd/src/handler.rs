@@ -13,7 +13,12 @@
 //! client scripting the daemon sees the same failure classes as a script
 //! driving the CLI.
 
-use rfh_alloc::{allocate, AllocConfig, AllocError, LrfMode};
+use std::sync::Arc;
+
+use rfh_alloc::{
+    allocate, allocate_incremental, AllocConfig, AllocError, IncrementalStats, LrfMode,
+    StrandAllocation,
+};
 use rfh_energy::{AccessCounts, EnergyModel};
 use rfh_isa::{IsaError, Kernel};
 use rfh_sim::counts::SwCounter;
@@ -23,7 +28,7 @@ use rfh_sim::mem::GlobalMemory;
 use rfh_sim::timing::{simulate_timing, TimingConfig, TraceCapture};
 use rfh_sim::TraceExporter;
 
-use crate::cache::fnv1a;
+use crate::cache::{fnv1a, Key, Store};
 use crate::json::Json;
 use crate::proto::{ErrorFrame, ErrorKind, SCHEMA};
 
@@ -144,9 +149,13 @@ pub struct Request {
 }
 
 impl Request {
-    /// The content-hash cache key: FNV-1a over every semantic field, so
-    /// two requests hash equal exactly when their results must be equal.
-    pub fn content_hash(&self) -> u64 {
+    /// The canonical request string: every semantic field, serialized so
+    /// that two requests canonicalize equal exactly when their results
+    /// must be equal. This full string keys the daemon's result cache
+    /// (its [`fnv1a`] digest is only a fast pre-key — see
+    /// [`crate::cache::Key`]), so a digest collision between two distinct
+    /// requests can never serve the wrong cached response.
+    pub fn canonical(&self) -> String {
         let mut canon = String::new();
         canon.push_str(self.op.name());
         canon.push('\0');
@@ -177,7 +186,46 @@ impl Request {
             self.active_warps,
             engine_name(self.engine),
         ));
-        fnv1a(canon.as_bytes())
+        canon
+    }
+
+    /// The 64-bit content digest of [`Request::canonical`]. Kept for
+    /// reporting and as the cache pre-key; no longer used as a cache key
+    /// on its own.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+}
+
+/// The per-strand allocation cache shared across requests: strand
+/// fingerprints ([`rfh_alloc::strand_fingerprint`]) map to cached
+/// [`StrandAllocation`]s, so an edited kernel re-runs analysis +
+/// allocation only for the strands whose content changed.
+pub type StrandStore = Store<Key, Arc<StrandAllocation>>;
+
+/// Runs hierarchy allocation, incrementally when a strand cache is
+/// supplied, monolithically otherwise. Both paths produce byte-identical
+/// kernels and stats (proven by `tests/incremental.rs`).
+fn allocate_via(
+    kernel: &mut Kernel,
+    config: &AllocConfig,
+    strands: Option<&StrandStore>,
+) -> Result<(rfh_alloc::AllocStats, Option<IncrementalStats>), AllocError> {
+    let model = EnergyModel::paper();
+    match strands {
+        None => Ok((allocate(kernel, config, &model)?, None)),
+        Some(store) => {
+            let (stats, inc) = allocate_incremental(
+                kernel,
+                config,
+                &model,
+                &mut |fp| store.get(&Key::new(fp)).map(|a| (*a).clone()),
+                &mut |fp, sa| {
+                    store.insert(Key::new(fp), Arc::new(sa.clone()));
+                },
+            )?;
+            Ok((stats, Some(inc)))
+        }
     }
 }
 
@@ -207,7 +255,15 @@ pub fn decode_request(doc: &Json) -> Result<Request, ErrorFrame> {
             format!("request must carry \"schema\":\"{SCHEMA}\""),
         ));
     }
-    let id = doc.get("id").and_then(Json::as_u64).unwrap_or(0);
+    // A missing id defaults to 0, but a *present* id that is not an
+    // unsigned integer is a client bug: answering it with id 0 would
+    // silently mis-correlate the response, so reject it loudly instead.
+    let id = match doc.get("id") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| usage("`id` must be an unsigned integer"))?,
+    };
     let op = doc
         .get("op")
         .and_then(Json::as_str)
@@ -359,12 +415,13 @@ fn resolve(req: &Request) -> Result<Resolved, ErrorFrame> {
 fn prepare(
     req: &Request,
     kernel: &mut Kernel,
+    strands: Option<&StrandStore>,
 ) -> Result<(ExecMode, Option<rfh_alloc::AllocStats>), ErrorFrame> {
     if req.baseline {
         rfh_isa::validate(kernel).map_err(isa_error)?;
         Ok((ExecMode::Baseline, None))
     } else {
-        let stats = allocate(kernel, &req.config, &EnergyModel::paper()).map_err(alloc_error)?;
+        let (stats, _) = allocate_via(kernel, &req.config, strands).map_err(alloc_error)?;
         Ok((ExecMode::Hierarchy(req.config), Some(stats)))
     }
 }
@@ -390,10 +447,28 @@ fn counts_json(c: &AccessCounts) -> Json {
 /// structured error frame; the server adds `catch_unwind` and the
 /// wall-clock timeout around this call.
 ///
+/// Allocation runs monolithically; the daemon threads its per-strand
+/// cache through [`handle_with`] instead.
+///
 /// # Errors
 ///
 /// An [`ErrorFrame`] in the class matching the pipeline failure.
 pub fn handle(req: &Request, budgets: &Budgets) -> Result<Json, ErrorFrame> {
+    handle_with(req, budgets, None)
+}
+
+/// [`handle`] with an optional per-strand allocation cache: ops that
+/// allocate (`allocate`, `simulate`, `timing`, `trace`) splice unchanged
+/// strands' placements from the store instead of recomputing them.
+///
+/// # Errors
+///
+/// An [`ErrorFrame`] in the class matching the pipeline failure.
+pub fn handle_with(
+    req: &Request,
+    budgets: &Budgets,
+    strands: Option<&StrandStore>,
+) -> Result<Json, ErrorFrame> {
     match req.op {
         Op::Ping => Ok(Json::Obj(vec![("pong".into(), Json::Bool(true))])),
         Op::Assemble => {
@@ -443,33 +518,35 @@ pub fn handle(req: &Request, budgets: &Budgets) -> Result<Json, ErrorFrame> {
         Op::Allocate => {
             let r = resolve(req)?;
             let mut kernel = r.kernel;
-            let stats =
-                allocate(&mut kernel, &req.config, &EnergyModel::paper()).map_err(alloc_error)?;
+            let (stats, inc) =
+                allocate_via(&mut kernel, &req.config, strands).map_err(alloc_error)?;
+            let mut stats_fields = vec![
+                ("strands".into(), Json::u64(stats.strands as u64)),
+                ("lrf_values".into(), Json::u64(stats.lrf_values as u64)),
+                ("orf_values".into(), Json::u64(stats.orf_values as u64)),
+                ("orf_partial".into(), Json::u64(stats.orf_partial as u64)),
+                (
+                    "read_operands".into(),
+                    Json::u64(stats.read_operands as u64),
+                ),
+                ("demoted".into(), Json::u64(stats.demoted as u64)),
+            ];
+            if let Some(inc) = inc {
+                stats_fields.push(("strand_hits".into(), Json::u64(inc.hits as u64)));
+                stats_fields.push(("strand_misses".into(), Json::u64(inc.misses as u64)));
+            }
             Ok(Json::Obj(vec![
                 (
                     "text".into(),
                     Json::str(rfh_isa::printer::print_kernel_annotated(&kernel)),
                 ),
-                (
-                    "stats".into(),
-                    Json::Obj(vec![
-                        ("strands".into(), Json::u64(stats.strands as u64)),
-                        ("lrf_values".into(), Json::u64(stats.lrf_values as u64)),
-                        ("orf_values".into(), Json::u64(stats.orf_values as u64)),
-                        ("orf_partial".into(), Json::u64(stats.orf_partial as u64)),
-                        (
-                            "read_operands".into(),
-                            Json::u64(stats.read_operands as u64),
-                        ),
-                        ("demoted".into(), Json::u64(stats.demoted as u64)),
-                    ]),
-                ),
+                ("stats".into(), Json::Obj(stats_fields)),
             ]))
         }
         Op::Simulate => {
             let r = resolve(req)?;
             let mut kernel = r.kernel;
-            let (mode, _) = prepare(req, &mut kernel)?;
+            let (mode, _) = prepare(req, &mut kernel, strands)?;
             let mut machine = MachineConfig::paper();
             machine.max_warp_instructions = budgets.max_warp_instructions;
             let mut counter = SwCounter::default();
@@ -519,7 +596,7 @@ pub fn handle(req: &Request, budgets: &Budgets) -> Result<Json, ErrorFrame> {
         Op::Timing => {
             let r = resolve(req)?;
             let mut kernel = r.kernel;
-            let (mode, _) = prepare(req, &mut kernel)?;
+            let (mode, _) = prepare(req, &mut kernel, strands)?;
             let mut machine = MachineConfig::paper();
             machine.max_warp_instructions = budgets.max_warp_instructions;
             let mut cap = TraceCapture::new(machine.clone(), r.launch.threads_per_cta);
@@ -548,7 +625,7 @@ pub fn handle(req: &Request, budgets: &Budgets) -> Result<Json, ErrorFrame> {
         Op::Trace => {
             let r = resolve(req)?;
             let mut kernel = r.kernel;
-            let (mode, _) = prepare(req, &mut kernel)?;
+            let (mode, _) = prepare(req, &mut kernel, strands)?;
             let mut machine = MachineConfig::paper();
             machine.max_warp_instructions = budgets.max_warp_instructions;
             let mut exporter = TraceExporter::new(&kernel);
@@ -743,5 +820,71 @@ BB0:
         let mut d = a.clone();
         d.baseline = true;
         assert_ne!(a.content_hash(), d.content_hash());
+    }
+
+    #[test]
+    fn non_numeric_id_is_a_usage_error_not_id_zero() {
+        // Regression: a present-but-non-numeric `id` used to be silently
+        // coerced to 0; it must be answered with a structured usage error.
+        for bad in [
+            "{\"schema\":\"rfhd-v1\",\"op\":\"ping\",\"id\":\"7\"}",
+            "{\"schema\":\"rfhd-v1\",\"op\":\"ping\",\"id\":true}",
+            "{\"schema\":\"rfhd-v1\",\"op\":\"ping\",\"id\":-3}",
+            "{\"schema\":\"rfhd-v1\",\"op\":\"ping\",\"id\":1.5}",
+            "{\"schema\":\"rfhd-v1\",\"op\":\"ping\",\"id\":null}",
+            "{\"schema\":\"rfhd-v1\",\"op\":\"ping\",\"id\":[1]}",
+        ] {
+            let e = req(bad).expect_err(bad);
+            assert_eq!(e.kind, ErrorKind::Usage, "{bad}");
+            assert!(e.message.contains("id"), "{bad}: {}", e.message);
+        }
+        // An absent id still defaults to 0.
+        let r = req("{\"schema\":\"rfhd-v1\",\"op\":\"ping\"}").expect("decodes");
+        assert_eq!(r.id, 0);
+    }
+
+    #[test]
+    fn strand_store_is_warmed_by_allocate_and_reused() {
+        let store = StrandStore::with_capacity(64);
+        let r = kernel_req("allocate");
+        let cold = handle_with(&r, &budgets(), Some(&store)).expect("cold allocate");
+        let hits0 = cold
+            .get("stats")
+            .and_then(|s| s.get("strand_hits"))
+            .and_then(Json::as_u64)
+            .expect("strand_hits reported");
+        let miss0 = cold
+            .get("stats")
+            .and_then(|s| s.get("strand_misses"))
+            .and_then(Json::as_u64)
+            .expect("strand_misses reported");
+        assert_eq!(hits0, 0);
+        assert!(miss0 > 0);
+        let warm = handle_with(&r, &budgets(), Some(&store)).expect("warm allocate");
+        let hits1 = warm
+            .get("stats")
+            .and_then(|s| s.get("strand_hits"))
+            .and_then(Json::as_u64)
+            .expect("strand_hits reported");
+        let miss1 = warm
+            .get("stats")
+            .and_then(|s| s.get("strand_misses"))
+            .and_then(Json::as_u64)
+            .expect("strand_misses reported");
+        assert_eq!(miss1, 0, "every strand must splice from the cache");
+        assert_eq!(hits1, miss0, "one hit per previously computed strand");
+        // Identical output either way.
+        assert_eq!(cold.get("text"), warm.get("text"));
+        let mono = handle(&r, &budgets()).expect("monolithic allocate");
+        assert_eq!(mono.get("text"), warm.get("text"));
+    }
+
+    #[test]
+    fn handle_without_store_omits_strand_counters() {
+        let out = handle(&kernel_req("allocate"), &budgets()).expect("allocates");
+        assert!(out
+            .get("stats")
+            .and_then(|s| s.get("strand_hits"))
+            .is_none());
     }
 }

@@ -37,11 +37,12 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use cache::{fnv1a, CacheStats, Store};
+pub use cache::{fnv1a, CacheStats, Key, Store};
 pub use client::{
-    malformed_probe, replay_workloads, Client, ClientError, ReplayReport, RetryPolicy,
+    edit_replay, malformed_probe, replay_workloads, Client, ClientError, EditReplayReport,
+    ReplayReport, RetryPolicy,
 };
-pub use handler::{decode_request, handle, Budgets, Op, Request};
+pub use handler::{decode_request, handle, handle_with, Budgets, Op, Request, StrandStore};
 pub use json::Json;
 pub use proto::{ErrorFrame, ErrorKind, SCHEMA};
 pub use server::{Endpoint, Server, ServerConfig, ServerHandle, ServerReport};

@@ -39,8 +39,8 @@ use std::time::{Duration, Instant};
 use rfh_testkit::env;
 use rfh_testkit::pool::TaskPool;
 
-use crate::cache::Store;
-use crate::handler::{decode_request, handle, Budgets, Op, Request};
+use crate::cache::{Key, Store};
+use crate::handler::{decode_request, handle_with, Budgets, Op, Request, StrandStore};
 use crate::json::Json;
 use crate::proto::{
     read_frame, render_response, write_frame, ErrorFrame, ErrorKind, FrameError, DEFAULT_MAX_FRAME,
@@ -79,6 +79,10 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Result-cache capacity in entries.
     pub cache_entries: usize,
+    /// Per-strand allocation cache capacity in entries (strands are much
+    /// smaller and more numerous than whole results, so the default is
+    /// correspondingly larger).
+    pub strand_cache_entries: usize,
     /// Default and maximum per-request wall-clock timeout. Clients may
     /// request less via `timeout_ms`, never more.
     pub timeout_ms: u64,
@@ -101,6 +105,7 @@ impl ServerConfig {
             workers: 4,
             queue_depth: 16,
             cache_entries: 256,
+            strand_cache_entries: 2048,
             timeout_ms: 10_000,
             io_timeout_ms: 10_000,
             max_frame: DEFAULT_MAX_FRAME,
@@ -110,7 +115,8 @@ impl ServerConfig {
     }
 
     /// Defaults overridden by the `RFHD_TIMEOUT_MS`, `RFHD_QUEUE_DEPTH`,
-    /// and `RFHD_CACHE_ENTRIES` environment knobs.
+    /// `RFHD_CACHE_ENTRIES`, and `RFHD_STRAND_CACHE_ENTRIES` environment
+    /// knobs.
     pub fn from_env(endpoint: Endpoint) -> Self {
         let mut cfg = ServerConfig::new(endpoint);
         if let Some(ms) = env::u64_knob("RFHD_TIMEOUT_MS") {
@@ -121,6 +127,9 @@ impl ServerConfig {
         }
         if let Some(entries) = env::positive_usize_knob("RFHD_CACHE_ENTRIES") {
             cfg.cache_entries = entries;
+        }
+        if let Some(entries) = env::positive_usize_knob("RFHD_STRAND_CACHE_ENTRIES") {
+            cfg.strand_cache_entries = entries;
         }
         cfg
     }
@@ -158,7 +167,12 @@ struct Shared {
     /// The endpoint after binding (real port for TCP port 0) — the
     /// shutdown wake connects here.
     resolved: Endpoint,
-    cache: Store<u64, Json>,
+    /// Whole-response result cache, keyed by the full canonical request
+    /// string (the 64-bit digest is only a pre-key — see
+    /// [`crate::cache::Key`]).
+    cache: Store<Key, Json>,
+    /// Per-strand allocation cache shared by every compute thread.
+    strand_cache: Arc<StrandStore>,
     budget_caps: Budgets,
     shutdown: AtomicBool,
     counters: Counters,
@@ -266,6 +280,7 @@ impl Server {
         let shared = Arc::new(Shared {
             resolved: endpoint.clone(),
             cache: Store::with_capacity(cfg.cache_entries),
+            strand_cache: Arc::new(Store::with_capacity(cfg.strand_cache_entries)),
             budget_caps,
             shutdown: AtomicBool::new(false),
             counters: Counters {
@@ -497,7 +512,7 @@ fn serve_conn(mut conn: Conn, shared: &Shared) {
 /// Runs one compute request under the full isolation stack: cache →
 /// spawned thread → `catch_unwind` → wall-clock timeout.
 fn compute(shared: &Shared, req: &Request) -> Result<(Json, bool), ErrorFrame> {
-    let key = req.content_hash();
+    let key = Key::new(req.canonical());
     if req.op.cacheable() {
         if let Some(result) = shared.cache.get(&key) {
             return Ok((result, true));
@@ -520,8 +535,11 @@ fn compute(shared: &Shared, req: &Request) -> Result<(Json, bool), ErrorFrame> {
     );
     let (tx, rx) = mpsc::channel();
     let thread_req = req.clone();
+    let strand_cache = Arc::clone(&shared.strand_cache);
     std::thread::spawn(move || {
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle(&thread_req, &budgets)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_with(&thread_req, &budgets, Some(&strand_cache))
+        }));
         // A send failure means the request timed out and the receiver is
         // gone; the result is simply dropped.
         let _ = tx.send(outcome);
@@ -570,21 +588,28 @@ fn respond(conn: &mut Conn, shared: &Shared, id: u64, outcome: &Result<(Json, bo
     let _ = write_frame(conn, &render_response(id, outcome));
 }
 
-fn stats_json(shared: &Shared) -> Json {
-    let cache = shared.cache.stats();
-    let c = &shared.counters;
-    let mut cache_fields = vec![
-        ("hits".into(), Json::u64(cache.hits)),
-        ("misses".into(), Json::u64(cache.misses)),
-        ("evictions".into(), Json::u64(cache.evictions)),
-        ("races".into(), Json::u64(cache.races)),
-        ("entries".into(), Json::u64(cache.entries as u64)),
+fn cache_stats_json(stats: crate::cache::CacheStats) -> Json {
+    let mut fields = vec![
+        ("hits".into(), Json::u64(stats.hits)),
+        ("misses".into(), Json::u64(stats.misses)),
+        ("evictions".into(), Json::u64(stats.evictions)),
+        ("races".into(), Json::u64(stats.races)),
+        ("entries".into(), Json::u64(stats.entries as u64)),
     ];
-    if let Some(cap) = cache.capacity {
-        cache_fields.push(("capacity".into(), Json::u64(cap as u64)));
+    if let Some(cap) = stats.capacity {
+        fields.push(("capacity".into(), Json::u64(cap as u64)));
     }
+    Json::Obj(fields)
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let c = &shared.counters;
     Json::Obj(vec![
-        ("cache".into(), Json::Obj(cache_fields)),
+        ("cache".into(), cache_stats_json(shared.cache.stats())),
+        (
+            "strand_cache".into(),
+            cache_stats_json(shared.strand_cache.stats()),
+        ),
         ("served".into(), Json::u64(c.served.load(Ordering::Relaxed))),
         ("shed".into(), Json::u64(c.shed.load(Ordering::Relaxed))),
         (
@@ -643,12 +668,15 @@ mod tests {
         std::env::set_var("RFHD_TIMEOUT_MS", "250");
         std::env::set_var("RFHD_QUEUE_DEPTH", "3");
         std::env::set_var("RFHD_CACHE_ENTRIES", "0x10");
+        std::env::set_var("RFHD_STRAND_CACHE_ENTRIES", "0x40");
         let cfg = ServerConfig::from_env(Endpoint::Tcp("127.0.0.1:0".into()));
         assert_eq!(cfg.timeout_ms, 250);
         assert_eq!(cfg.queue_depth, 3);
         assert_eq!(cfg.cache_entries, 16);
+        assert_eq!(cfg.strand_cache_entries, 64);
         std::env::remove_var("RFHD_TIMEOUT_MS");
         std::env::remove_var("RFHD_QUEUE_DEPTH");
         std::env::remove_var("RFHD_CACHE_ENTRIES");
+        std::env::remove_var("RFHD_STRAND_CACHE_ENTRIES");
     }
 }

@@ -225,12 +225,11 @@ fn full_queue_sheds_with_retry_hint_and_client_backoff_recovers() {
     std::thread::sleep(std::time::Duration::from_millis(50));
 
     // A third connection must be shed in-band, not silently dropped.
+    // The shed frame is written at accept time, before the request is
+    // ever read, so the victim must not send first: a write racing with
+    // the server's close draws an RST that can both fail the send and
+    // discard the buffered response. Just read.
     let mut raw = std::net::TcpStream::connect(&addr).expect("shed victim");
-    proto::write_frame(
-        &mut raw,
-        "{\"schema\":\"rfhd-v1\",\"id\":5,\"op\":\"ping\"}",
-    )
-    .expect("send");
     let frame = proto::read_frame(&mut raw, proto::DEFAULT_MAX_FRAME)
         .expect("shed response")
         .expect("a frame, not a bare close");
@@ -289,5 +288,86 @@ fn per_connection_pipelining_preserves_order_and_survives_bad_json() {
     assert_eq!(ids, vec![1, 0, 3], "in order; the bad frame has no id");
     assert_eq!(oks, vec![true, false, true]);
     drop(conn);
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn non_numeric_id_draws_a_usage_frame_over_the_wire() {
+    // Regression: a present-but-non-numeric `id` used to be silently
+    // coerced to 0 and the request served; it must be refused in-band.
+    let handle = spawn_tcp(|_| {});
+    let Endpoint::Tcp(addr) = handle.endpoint.clone() else {
+        panic!("tcp endpoint")
+    };
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+    for bad in [
+        "{\"schema\":\"rfhd-v1\",\"id\":\"7\",\"op\":\"ping\"}",
+        "{\"schema\":\"rfhd-v1\",\"id\":true,\"op\":\"ping\"}",
+        "{\"schema\":\"rfhd-v1\",\"id\":-1,\"op\":\"ping\"}",
+    ] {
+        proto::write_frame(&mut conn, bad).expect("send");
+        let frame = proto::read_frame(&mut conn, proto::DEFAULT_MAX_FRAME)
+            .expect("read")
+            .expect("response");
+        let (id, outcome) = proto::decode_response(&frame).expect("decodes");
+        assert_eq!(id, 0, "no usable id to echo");
+        let err = outcome.expect_err("usage frame");
+        assert_eq!(err.kind, ErrorKind::Usage, "{bad}");
+        assert!(err.message.contains("id"), "{bad}: {}", err.message);
+    }
+    // The connection is not poisoned: a well-formed request still works.
+    proto::write_frame(
+        &mut conn,
+        "{\"schema\":\"rfhd-v1\",\"id\":8,\"op\":\"ping\"}",
+    )
+    .expect("send");
+    let frame = proto::read_frame(&mut conn, proto::DEFAULT_MAX_FRAME)
+        .expect("read")
+        .expect("response");
+    let (id, outcome) = proto::decode_response(&frame).expect("decodes");
+    assert_eq!(id, 8);
+    assert!(outcome.is_ok());
+    drop(conn);
+    shutdown_and_join(handle);
+}
+
+#[test]
+fn strand_cache_is_warmed_and_reported_by_stats() {
+    let handle = spawn_tcp(|_| {});
+    let mut c = client(&handle.endpoint);
+
+    // A cold allocate populates the strand cache.
+    let (cold, _) = c.request(op_kernel("allocate", AXPY)).expect("allocate");
+    let stats = cold.get("stats").expect("stats");
+    let misses = stats
+        .get("strand_misses")
+        .and_then(Json::as_u64)
+        .expect("strand_misses reported");
+    assert_eq!(stats.get("strand_hits").and_then(Json::as_u64), Some(0));
+    assert!(misses > 0);
+
+    // An edited kernel (same strand structure except one instruction)
+    // re-runs allocation for the changed strand only; the result cache
+    // misses (different canonical request) but the strand cache hits.
+    let edited = AXPY.replace("2.0f", "3.0f");
+    let (warm, cached) = c.request(op_kernel("allocate", &edited)).expect("edited");
+    assert!(!cached, "an edited kernel is a distinct result-cache entry");
+    let wstats = warm.get("stats").expect("stats");
+    let hits = wstats
+        .get("strand_hits")
+        .and_then(Json::as_u64)
+        .expect("strand_hits reported");
+    assert!(hits > 0, "unchanged strands splice from the strand cache");
+
+    // The server-level stats op reports the strand cache alongside the
+    // result cache.
+    let (server_stats, _) = c.simple("stats").expect("stats op");
+    let sc = server_stats
+        .get("strand_cache")
+        .expect("strand_cache block");
+    assert!(sc.get("hits").and_then(Json::as_u64) >= Some(1));
+    assert!(sc.get("entries").and_then(Json::as_u64) >= Some(1));
+    assert!(sc.get("capacity").and_then(Json::as_u64).is_some());
+
     shutdown_and_join(handle);
 }

@@ -139,6 +139,18 @@ for jobs in 1 8; do
         --jobs 4 --rounds 1 --bench-json "$artifacts/BENCH_rfhd.jobs$jobs.json" \
         2> /dev/null
     grep -q '"schema": "rfhd-bench-v1"' "$artifacts/BENCH_rfhd.jobs$jobs.json"
+    # Incremental smoke: re-allocate every workload with one immediate
+    # (one strand) edited. The strand cache — warmed by the replay round
+    # above — must splice every unchanged strand (the edit-replay exits
+    # non-zero otherwise), and the server-level `stats` op must report
+    # the strand-cache hits.
+    ./target/release/rfhc client --unix "$sock" --edit-replay \
+        --jobs 4 --bench-json "$artifacts/BENCH_rfhd.jobs$jobs.json" 2> /dev/null
+    grep -q '"schema": "rfhd-edit-bench-v1"' "$artifacts/BENCH_rfhd.jobs$jobs.json"
+    strand_hits=$(./target/release/rfhc client --unix "$sock" --op stats \
+        | grep -o '"strand_cache":{[^}]*}' | grep -o '"hits":[0-9]*' | cut -d: -f2)
+    [ -n "$strand_hits" ] && [ "$strand_hits" -gt 0 ] \
+        || { echo "strand cache reported ${strand_hits:-no} hits, want > 0"; exit 1; }
     # Drain: shutdown is acknowledged, the serve process exits 0, and the
     # socket file is cleaned up.
     ./target/release/rfhc client --unix "$sock" --op shutdown > /dev/null

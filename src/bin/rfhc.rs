@@ -55,8 +55,8 @@ const USAGE: &str = "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-part
        rfhc client (--tcp HOST:PORT | --unix PATH) [--op OP] [--workload NAME] \
      [--timeout-ms N]\n\
              [--replay-workloads [--jobs N] [--rounds N] [--bench-json PATH]] \
-     [--malformed-probe]\n\
-             [<kernel.rfasm | ->]";
+     [--edit-replay]\n\
+             [--malformed-probe] [<kernel.rfasm | ->]";
 
 fn usage(msg: &str) -> RfhError {
     RfhError::Usage(format!("{msg}\n{USAGE}"))
@@ -464,6 +464,7 @@ fn client_main(
     let mut input: Option<String> = None;
     let mut timeout_ms: Option<u64> = None;
     let mut replay = false;
+    let mut edit = false;
     let mut malformed = false;
     let mut rounds: usize = 2;
     let mut jobs: usize = rfh_testkit::pool::jobs();
@@ -491,6 +492,7 @@ fn client_main(
                 );
             }
             "--replay-workloads" => replay = true,
+            "--edit-replay" => edit = true,
             "--malformed-probe" => malformed = true,
             "--rounds" => {
                 let raw = args.next().ok_or_else(|| usage("--rounds needs a value"))?;
@@ -547,7 +549,7 @@ fn client_main(
             report.cached(),
             report.failed()
         );
-        if let Some(path) = bench_json {
+        if let Some(path) = bench_json.clone() {
             let rendered = report.bench_json();
             if path == "-" {
                 print!("{rendered}");
@@ -558,6 +560,56 @@ fn client_main(
         if report.failed() > 0 {
             return Err(RfhError::Daemon {
                 message: format!("{} replay request(s) failed", report.failed()),
+                code: 9,
+            });
+        }
+        if !edit {
+            return Ok(());
+        }
+    }
+
+    if edit {
+        // The before/after of incremental allocation: allocate every
+        // workload cold, edit one immediate (one strand), allocate
+        // again; the daemon's strand cache must splice every unchanged
+        // strand. Appends to --bench-json so a replay doc written above
+        // (or by an earlier run) is kept alongside.
+        let report = rfh::rfhd::edit_replay(&endpoint, jobs, rfh::rfhd::RetryPolicy::default());
+        eprintln!(
+            "rfhc client: edit-replayed {} workload(s) with {} job(s) in {} ms — \
+             {} fully spliced, {} failed ({} strands: {} cold misses, {} edit hits, \
+             {} edit misses)",
+            report.entries.len(),
+            report.jobs,
+            report.wall_ms,
+            report.fully_spliced(),
+            report.failed(),
+            report.entries.iter().map(|e| e.strands).sum::<u64>(),
+            report.entries.iter().map(|e| e.cold_misses).sum::<u64>(),
+            report.entries.iter().map(|e| e.edit_hits).sum::<u64>(),
+            report.entries.iter().map(|e| e.edit_misses).sum::<u64>(),
+        );
+        if let Some(path) = bench_json {
+            let rendered = report.bench_json();
+            if path == "-" {
+                print!("{rendered}");
+            } else {
+                use std::io::Write as _;
+                let mut f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .map_err(|source| RfhError::Io {
+                        path: path.clone(),
+                        source,
+                    })?;
+                f.write_all(rendered.as_bytes())
+                    .map_err(|source| RfhError::Io { path, source })?;
+            }
+        }
+        if report.failed() > 0 {
+            return Err(RfhError::Daemon {
+                message: format!("{} edit-replay workload(s) failed", report.failed()),
                 code: 9,
             });
         }

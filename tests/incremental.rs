@@ -1,0 +1,170 @@
+//! Differential suite for incremental allocation: the strand-cached pass
+//! must be **byte-identical** to the monolithic pass — over every ported
+//! workload and over generated kernels with seeded single-strand edits —
+//! and must recompute *only* the edited strand (strand-cache stats as the
+//! oracle).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use rfh::alloc::{
+    allocate, allocate_incremental, AllocConfig, AllocStats, IncrementalStats, StrandAllocation,
+};
+use rfh::energy::EnergyModel;
+use rfh::isa::printer::print_kernel_annotated;
+use rfh::isa::{Kernel, Operand};
+use rfh::workloads::generator::{random_program, GenConfig};
+
+/// A strand-allocation memo shared across incremental runs, playing the
+/// role of the daemon's strand cache.
+type Cache = RefCell<HashMap<String, StrandAllocation>>;
+
+fn incremental(
+    kernel: &mut Kernel,
+    cfg: &AllocConfig,
+    model: &EnergyModel,
+    cache: &Cache,
+) -> (AllocStats, IncrementalStats) {
+    let mut lookup = |fp: &str| cache.borrow().get(fp).cloned();
+    let mut publish = |fp: &str, sa: &StrandAllocation| {
+        cache.borrow_mut().insert(fp.to_string(), sa.clone());
+    };
+    allocate_incremental(kernel, cfg, model, &mut lookup, &mut publish)
+        .expect("incremental allocate")
+}
+
+fn configs() -> Vec<AllocConfig> {
+    let mut v = vec![
+        AllocConfig::two_level(4),
+        AllocConfig::three_level(3, false),
+        AllocConfig::three_level(3, true),
+    ];
+    let mut rich = AllocConfig::three_level(3, true);
+    rich.partial_ranges = true;
+    rich.read_operands = true;
+    v.push(rich);
+    v
+}
+
+#[test]
+fn every_workload_allocates_identically_incremental_vs_monolithic() {
+    let model = EnergyModel::paper();
+    let workloads = rfh::workloads::all();
+    assert!(workloads.len() >= 15, "suite shrank: {}", workloads.len());
+    for w in &workloads {
+        for cfg in configs() {
+            let mut mono = w.kernel.clone();
+            let mono_stats = allocate(&mut mono, &cfg, &model)
+                .unwrap_or_else(|e| panic!("{}: monolithic: {e}", w.name));
+            let mono_text = print_kernel_annotated(&mono);
+
+            // Cold incremental: every strand computed, result identical.
+            let cache = Cache::default();
+            let mut cold = w.kernel.clone();
+            let (cold_stats, inc) = incremental(&mut cold, &cfg, &model, &cache);
+            assert_eq!(
+                mono_text,
+                print_kernel_annotated(&cold),
+                "{}: cold incremental diverges",
+                w.name
+            );
+            assert_eq!(mono_stats, cold_stats, "{}: cold stats diverge", w.name);
+            assert_eq!(inc.hits + inc.misses, inc.strands, "{}", w.name);
+
+            // Warm incremental: every strand spliced, result identical.
+            let mut warm = w.kernel.clone();
+            let (warm_stats, winc) = incremental(&mut warm, &cfg, &model, &cache);
+            assert_eq!(winc.misses, 0, "{}: warm run recomputed a strand", w.name);
+            assert_eq!(winc.hits, winc.strands, "{}: warm run missed", w.name);
+            assert_eq!(
+                mono_text,
+                print_kernel_annotated(&warm),
+                "{}: warm incremental diverges",
+                w.name
+            );
+            assert_eq!(mono_stats, warm_stats, "{}: warm stats diverge", w.name);
+        }
+    }
+}
+
+/// Every `(block, instr, src-slot)` holding an integer immediate. Editing
+/// one of these changes a single strand's text without touching control
+/// flow, def/use structure, or strand boundaries.
+fn imm_sites(kernel: &Kernel) -> Vec<(usize, usize, usize)> {
+    let mut sites = Vec::new();
+    for (b, block) in kernel.blocks.iter().enumerate() {
+        for (i, instr) in block.instrs.iter().enumerate() {
+            for (s, src) in instr.srcs.iter().enumerate() {
+                if matches!(src, Operand::Imm(_)) {
+                    sites.push((b, i, s));
+                }
+            }
+        }
+    }
+    sites
+}
+
+fn edit_one_imm(kernel: &mut Kernel, seed: u64) {
+    let sites = imm_sites(kernel);
+    assert!(!sites.is_empty(), "generated kernel has no immediates");
+    let (b, i, s) = sites[seed as usize % sites.len()];
+    let Operand::Imm(v) = kernel.blocks[b].instrs[i].srcs[s] else {
+        unreachable!("site points at an immediate");
+    };
+    kernel.blocks[b].instrs[i].srcs[s] = Operand::Imm(v.wrapping_add(1));
+}
+
+/// 512 seeded single-operand edits: after warming the strand cache on the
+/// original kernel, re-allocating the edited kernel recomputes at most one
+/// strand (exactly the edited one — or zero recomputes when the edit makes
+/// the strand identical to another already-cached strand), splices every
+/// other strand from cache, and is byte-identical to a from-scratch
+/// monolithic pass over the edited kernel.
+#[test]
+fn single_strand_edit_recomputes_only_that_strand() {
+    let model = EnergyModel::paper();
+    let cfgs = configs();
+    for seed in 0u64..512 {
+        let shape = GenConfig {
+            segments: 3 + (seed % 5) as usize,
+            run_len: 3 + (seed % 4) as usize,
+            max_trips: 1 + (seed % 5) as i32,
+            pool: 6 + (seed % 4) as u16,
+        };
+        let (kernel, _launch, _mem) = random_program(seed, shape);
+        let cfg = &cfgs[seed as usize % cfgs.len()];
+
+        // Warm the cache on the original kernel.
+        let cache = Cache::default();
+        let mut orig = kernel.clone();
+        let (_, inc0) = incremental(&mut orig, cfg, &model, &cache);
+        assert_eq!(inc0.hits + inc0.misses, inc0.strands, "seed {seed}");
+
+        // Edit exactly one immediate operand (one strand's text).
+        let mut edited = kernel.clone();
+        edit_one_imm(&mut edited, seed);
+
+        let mut mono = edited.clone();
+        let mono_stats = allocate(&mut mono, cfg, &model)
+            .unwrap_or_else(|e| panic!("seed {seed}: monolithic: {e}"));
+
+        let mut inc_kernel = edited.clone();
+        let (inc_stats, inc) = incremental(&mut inc_kernel, cfg, &model, &cache);
+        assert!(
+            inc.misses <= 1,
+            "seed {seed}: one edited strand, {} recomputed",
+            inc.misses
+        );
+        assert_eq!(
+            inc.hits,
+            inc.strands - inc.misses,
+            "seed {seed}: unchanged strands must splice from the cache"
+        );
+        assert_eq!(
+            print_kernel_annotated(&mono),
+            print_kernel_annotated(&inc_kernel),
+            "seed {seed}: incremental diverges from monolithic after edit"
+        );
+        assert_eq!(mono_stats, inc_stats, "seed {seed}: stats diverge");
+    }
+}
