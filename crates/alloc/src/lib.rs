@@ -77,7 +77,7 @@ pub use config::{AllocConfig, LrfMode};
 pub use costs::Costs;
 pub use error::AllocError;
 pub use pass::{
-    allocate, allocate_incremental, strand_fingerprint, AllocStats, IncrementalStats,
-    StrandAllocation,
+    allocate, allocate_incremental, allocate_with_hints, strand_fingerprint, AllocStats,
+    IncrementalStats, StrandAllocation,
 };
 pub use validate::validate_placements;

@@ -2,7 +2,8 @@
 
 use std::collections::HashSet;
 
-use rfh_analysis::defuse::{all_strand_values, strand_values, StrandValues};
+use rfh_analysis::absint::last_use;
+use rfh_analysis::defuse::{all_strand_values_opts, strand_values, StrandValues};
 use rfh_analysis::liveness::{annotate_dead, Liveness};
 use rfh_analysis::strand::{mark_strands_opts, strand_canonical, StrandOpts};
 use rfh_analysis::{DomTree, ReadRef};
@@ -475,6 +476,33 @@ pub fn allocate(
     config: &AllocConfig,
     model: &EnergyModel,
 ) -> Result<AllocStats, AllocError> {
+    allocate_with_hints(kernel, config, model, false)
+}
+
+/// [`allocate`] with optional compiler-assisted last-use hints (the
+/// Abaie Shoushtary 2023 direction, ROADMAP item 3): when `use_hints` is
+/// set, the abstract-interpretation last-use pass
+/// ([`rfh_analysis::absint::last_use`]) runs first, and
+///
+/// * static `dead_after` flags are computed under the refined
+///   (covered-read-excluding) liveness, releasing ORF/LRF entries at the
+///   provable last read instead of region end;
+/// * covered reads attach to their covering in-strand guarded definition,
+///   so values whose reads are all covered skip the MRF copy entirely.
+///
+/// With `use_hints == false` this is byte-for-byte the plain [`allocate`]
+/// pipeline.
+///
+/// # Errors
+///
+/// Exactly as [`allocate`]: [`AllocError::InvalidKernel`] for structurally
+/// invalid input, [`AllocError::Config`] for inconsistent configuration.
+pub fn allocate_with_hints(
+    kernel: &mut Kernel,
+    config: &AllocConfig,
+    model: &EnergyModel,
+    use_hints: bool,
+) -> Result<AllocStats, AllocError> {
     rfh_isa::validate(kernel)?;
     // Reset all placements to the single-level baseline.
     reset_placements(kernel);
@@ -485,8 +513,17 @@ pub fn allocate(
             split_on_deschedule: !config.ideal_no_deschedule_split,
         },
     );
-    let liveness = Liveness::compute(kernel);
-    annotate_dead(kernel, &liveness);
+    // The hint pass requires `ends_strand` bits, so it runs after strand
+    // marking.
+    let hints = use_hints.then(|| last_use::analyze(kernel));
+    let liveness = match &hints {
+        Some(h) => h.liveness.clone(),
+        None => Liveness::compute(kernel),
+    };
+    match &hints {
+        Some(h) => h.apply_dead_flags(kernel),
+        None => annotate_dead(kernel, &liveness),
+    }
 
     let mut stats = AllocStats {
         strands: info.strands.len(),
@@ -498,7 +535,7 @@ pub fn allocate(
 
     let costs = Costs::from_model(model, config.orf_entries);
     let dom = DomTree::dominators(kernel);
-    let values = all_strand_values(kernel, &info, &liveness);
+    let values = all_strand_values_opts(kernel, &info, &liveness, hints.as_ref());
     for sv in &values {
         allocate_strand(kernel, sv, config, &costs, &dom, &mut stats)?;
     }
@@ -1072,6 +1109,69 @@ BB0:
             ),
             "dead value should die in the ORF"
         );
+    }
+}
+
+#[cfg(test)]
+mod hints_tests {
+    use super::*;
+    use crate::config::AllocConfig;
+    use rfh_isa::parse_kernel;
+
+    /// A guarded reduction tail: every value in the `@p0` chain is defined
+    /// and consumed under the same guard, so the last-use pass covers the
+    /// reads and the allocator can skip the MRF copies entirely.
+    const GUARDED_CHAIN: &str = "
+.kernel gc
+BB0:
+  mov r0, %tid.x
+  setp.lt p0 r0, 8
+  @p0 ld.shared r6 r0
+  @p0 fadd r8 r6, r6
+  @p0 fmul r9 r8, r8
+  @p0 st.shared r0, r9
+  exit
+";
+
+    #[test]
+    fn hints_off_is_byte_identical_to_allocate() {
+        for config in [
+            AllocConfig::baseline(),
+            AllocConfig::two_level(3),
+            AllocConfig::three_level(3, true),
+        ] {
+            let mut plain = parse_kernel(GUARDED_CHAIN).unwrap();
+            let plain_stats = allocate(&mut plain, &config, &EnergyModel::paper()).unwrap();
+            let mut off = parse_kernel(GUARDED_CHAIN).unwrap();
+            let off_stats =
+                allocate_with_hints(&mut off, &config, &EnergyModel::paper(), false).unwrap();
+            assert_eq!(off, plain, "{config:?}");
+            assert_eq!(off_stats, plain_stats, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn hints_elide_mrf_writes_on_guarded_chain() {
+        let config = AllocConfig::two_level(3);
+        let model = EnergyModel::paper();
+        let mut plain = parse_kernel(GUARDED_CHAIN).unwrap();
+        allocate(&mut plain, &config, &model).unwrap();
+        let mut hinted = parse_kernel(GUARDED_CHAIN).unwrap();
+        let stats = allocate_with_hints(&mut hinted, &config, &model, true).unwrap();
+        assert_eq!(stats.demoted, 0, "hinted placements must validate");
+
+        let mrf_writes = |k: &Kernel| {
+            let (_, _, mrf_only, dual) = write_level_counts(k);
+            mrf_only + dual
+        };
+        assert!(
+            mrf_writes(&hinted) < mrf_writes(&plain),
+            "hints should elide MRF copies: hinted {} vs plain {}",
+            mrf_writes(&hinted),
+            mrf_writes(&plain)
+        );
+        // The hinted kernel still validates under the strand walk.
+        validate_placements(&hinted, &config).unwrap();
     }
 }
 

@@ -10,23 +10,35 @@
 //! * split-LRF reads use the bank matching their operand slot;
 //! * no value is expected to survive a strand boundary in an upper level.
 //!
-//! Guarded (predicated) writes may or may not execute, so they only
-//! preserve an entry's contents when they write the same register word that
-//! is already there; anything else makes the entry unknown.
+//! Guarded (predicated) writes may or may not execute. A guarded write
+//! over an entry already holding the same register word preserves it (both
+//! outcomes agree with the architectural register); any other guarded
+//! write leaves a *conditional* entry, valid only for reads under the
+//! exact same guard — the shape the last-use hint pass produces — and
+//! invalidated when the guarding predicate is redefined.
 
 use std::collections::HashMap;
 
 use rfh_analysis::RegSet;
 use rfh_isa::access::{AccessKind, AccessPlan, AccessSlot, Datapath, Place};
-use rfh_isa::{InstrRef, Kernel, Reg, Width};
+use rfh_isa::{InstrRef, Kernel, PredGuard, Reg, Width};
 
 use crate::config::{AllocConfig, LrfMode};
+
+/// Symbolic contents of one upper-level entry: which register word it
+/// mirrors, and under which guard the mirroring holds (`None`: on every
+/// lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    reg: Reg,
+    guard: Option<PredGuard>,
+}
 
 /// Symbolic contents of the upper levels along one path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct State {
-    orf: Vec<Option<Reg>>,
-    lrf: Vec<Option<Reg>>,
+    orf: Vec<Option<Entry>>,
+    lrf: Vec<Option<Entry>>,
 }
 
 impl State {
@@ -54,6 +66,14 @@ impl State {
             }
         }
     }
+}
+
+/// Whether an entry's symbolic contents serve a read of `reg` on an
+/// instruction guarded by `guard`: the entry must mirror the same word,
+/// unconditionally or under the exact same guard (same predicate, same
+/// polarity — then the read only executes on lanes the write reached).
+fn entry_serves(entry: Option<Entry>, reg: Reg, guard: Option<PredGuard>) -> bool {
+    entry.is_some_and(|en| en.reg == reg && (en.guard.is_none() || en.guard == guard))
 }
 
 /// Splits a kernel into strands using the `ends_strand` bits already on the
@@ -231,10 +251,10 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
                         if e >= config.orf_entries {
                             return Err(format!("{loc}: read entry ORF{e} out of range"));
                         }
-                        if state.orf[e] != Some(reg) {
+                        if !entry_serves(state.orf[e], reg, instr.guard) {
                             return Err(format!(
-                                "{loc}: ORF{e} holds {:?}, expected {reg}",
-                                state.orf[e]
+                                "{loc}: ORF{e} holds {:?}, expected {reg} under {:?}",
+                                state.orf[e], instr.guard
                             ));
                         }
                     }
@@ -266,17 +286,17 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
                                 ))
                             }
                         };
-                        if state.lrf[b] != Some(reg) {
+                        if !entry_serves(state.lrf[b], reg, instr.guard) {
                             return Err(format!(
-                                "{loc}: LRF bank {b} holds {:?}, expected {reg}",
-                                state.lrf[b]
+                                "{loc}: LRF bank {b} holds {:?}, expected {reg} under {:?}",
+                                state.lrf[b], instr.guard
                             ));
                         }
                     }
                 }
             }
             for (e, reg) in fills {
-                state.orf[e] = Some(reg);
+                state.orf[e] = Some(Entry { reg, guard: None });
             }
 
             // ---- defs ----
@@ -297,25 +317,32 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
                 for r in plan.written_words() {
                     for (e, slot) in state.orf.iter_mut().enumerate() {
                         let targeted = orf_base.is_some_and(|base| e >= base && e < base + words);
-                        if !targeted && *slot == Some(*r) {
+                        if !targeted && slot.is_some_and(|en| en.reg == *r) {
                             *slot = None;
                         }
                     }
                     for (b, slot) in state.lrf.iter_mut().enumerate() {
-                        if target_lrf != Some(b) && *slot == Some(*r) {
+                        if target_lrf != Some(b) && slot.is_some_and(|en| en.reg == *r) {
                             *slot = None;
                         }
                     }
                 }
-                let guarded = instr.guard.is_some();
-                let write = |slot: &mut Option<Reg>, reg: Reg| {
-                    if guarded {
-                        if *slot != Some(reg) {
-                            *slot = None;
+                let guard = instr.guard;
+                let write = |slot: &mut Option<Entry>, reg: Reg| match guard {
+                    None => *slot = Some(Entry { reg, guard: None }),
+                    Some(g) => match *slot {
+                        // A guarded write of the word an unconditional entry
+                        // already mirrors preserves it: either outcome still
+                        // matches the architectural register.
+                        Some(en) if en.reg == reg && en.guard.is_none() => {}
+                        // Otherwise the entry is valid only under this guard.
+                        _ => {
+                            *slot = Some(Entry {
+                                reg,
+                                guard: Some(g),
+                            })
                         }
-                    } else {
-                        *slot = Some(reg);
-                    }
+                    },
                 };
                 if let Some(e) = orf_base {
                     let slots = words;
@@ -359,6 +386,16 @@ pub fn validate_placements(kernel: &Kernel, config: &AllocConfig) -> Result<(), 
                 return Err(format!(
                     "{loc}: upper-level write on an instruction with no destination"
                 ));
+            }
+
+            // Redefining a predicate invalidates every entry whose validity
+            // is conditional on it.
+            if let Some(p) = instr.pdst {
+                for slot in state.orf.iter_mut().chain(state.lrf.iter_mut()) {
+                    if slot.is_some_and(|en| en.guard.is_some_and(|g| g.reg == p)) {
+                        *slot = None;
+                    }
+                }
             }
 
             out_states.push(state);

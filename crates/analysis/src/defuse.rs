@@ -21,6 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use rfh_isa::{InstrRef, Kernel, Reg, Slot, Unit, Width};
 
+use crate::absint::last_use::LastUseHints;
 use crate::liveness::Liveness;
 use crate::strand::{StrandId, StrandInfo};
 
@@ -159,12 +160,35 @@ pub fn strand_values(
     liveness: &Liveness,
     sid: StrandId,
 ) -> StrandValues {
+    strand_values_opts(kernel, info, liveness, sid, None)
+}
+
+/// [`strand_values`] with optional last-use hints. A *covered* read (see
+/// [`crate::absint::last_use`]) provably observes a specific in-strand
+/// guarded definition, so it attaches to that instance directly instead of
+/// being tainted by the strand live-in; exit liveness uses the hints'
+/// refined (read-excluding) queries, so values whose only downstream reads
+/// are covered need no MRF copy. When `hints` is `Some`, `liveness` must
+/// be the hints' own refined liveness.
+///
+/// # Panics
+///
+/// Panics if `sid` is out of range for `info`.
+pub fn strand_values_opts(
+    kernel: &Kernel,
+    info: &StrandInfo,
+    liveness: &Liveness,
+    sid: StrandId,
+    hints: Option<&LastUseHints>,
+) -> StrandValues {
     let strand = info.strand(sid);
     let nodes = &strand.instrs;
     let pos_of: HashMap<InstrRef, usize> = nodes.iter().enumerate().map(|(i, r)| (*r, i)).collect();
     let preds = kernel.predecessors();
 
     let mut instances: Vec<ValueInstance> = Vec::new();
+    // Defining instruction -> instance id, for covered-read attachment.
+    let mut def_instance: HashMap<InstrRef, usize> = HashMap::new();
     let mut uf = UnionFind::default();
     // reg -> reaching defs, flowing through the strand's layout-order DAG.
     // `states[p]` is the out-state of node p, kept for join edges.
@@ -252,6 +276,17 @@ pub fn strand_values(
                 pos,
                 unit: instr.op.unit(),
             };
+            // A covered read observes exactly its covering in-strand
+            // guarded definition (same guard, nothing in between): attach
+            // it there and skip the reaching-def taint entirely.
+            if let Some(h) = hints {
+                if let Some(site) = h.covered.get(&(*at, i)) {
+                    if let Some(&iid) = def_instance.get(site) {
+                        instances[iid].reads.push(read);
+                        continue;
+                    }
+                }
+            }
             let defs = lookup(&state, reg);
             let insts: Vec<usize> = defs
                 .iter()
@@ -289,6 +324,7 @@ pub fn strand_values(
             let id = instances.len();
             let g = uf.make();
             debug_assert_eq!(g, id);
+            def_instance.insert(*at, id);
             instances.push(ValueInstance {
                 id,
                 def: *at,
@@ -335,7 +371,10 @@ pub fn strand_values(
                 index: at.index + 1,
             };
             if !pos_of.contains_key(&next) {
-                exit_lives.push(liveness.live_after(kernel, *at));
+                exit_lives.push(match hints {
+                    Some(h) => liveness.live_after_excluding(kernel, *at, &h.excluded),
+                    None => liveness.live_after(kernel, *at),
+                });
             }
         } else {
             for s in kernel.successors(at.block) {
@@ -414,9 +453,20 @@ pub fn all_strand_values(
     info: &StrandInfo,
     liveness: &Liveness,
 ) -> Vec<StrandValues> {
+    all_strand_values_opts(kernel, info, liveness, None)
+}
+
+/// [`all_strand_values`] with optional last-use hints (see
+/// [`strand_values_opts`]).
+pub fn all_strand_values_opts(
+    kernel: &Kernel,
+    info: &StrandInfo,
+    liveness: &Liveness,
+    hints: Option<&LastUseHints>,
+) -> Vec<StrandValues> {
     info.strands
         .iter()
-        .map(|s| strand_values(kernel, info, liveness, s.id))
+        .map(|s| strand_values_opts(kernel, info, liveness, s.id, hints))
         .collect()
 }
 
@@ -678,5 +728,39 @@ BB0:
             .unwrap();
         assert!(def.reads.is_empty(), "read is tainted by live-in");
         assert!(def.live_out, "the MRF copy must exist");
+    }
+
+    /// With last-use hints, the same pattern's reads are *covered* (same
+    /// guard, no redefinition in between): they attach to the defining
+    /// instance and the MRF copy is elided.
+    #[test]
+    fn covered_reads_attach_with_hints() {
+        let mut k = parse_kernel(
+            "
+.kernel h
+BB0:
+  @p0 ld.shared r7 r0
+  @p0 fadd r8 r7, 1.0f
+  @p0 st.shared r0, r8
+  exit
+",
+        )
+        .unwrap();
+        let info = mark_strands(&mut k);
+        let hints = crate::absint::last_use::analyze(&k);
+        let values = all_strand_values_opts(&k, &info, &hints.liveness, Some(&hints));
+        let find = |r: u16| {
+            values[0]
+                .instances
+                .iter()
+                .find(|i| i.reg == rfh_isa::Reg::new(r))
+                .unwrap()
+        };
+        let r7 = find(7);
+        assert_eq!(r7.reads.len(), 1, "covered read attaches to the def");
+        assert!(!r7.live_out, "no MRF copy needed");
+        let r8 = find(8);
+        assert_eq!(r8.reads.len(), 1);
+        assert!(!r8.live_out);
     }
 }

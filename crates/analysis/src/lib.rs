@@ -20,17 +20,25 @@
 //!   uncertain (paper Figure 5);
 //! * [`defuse`] — per-strand *value instances* (a definition plus the reads
 //!   it reaches inside the strand), live-in read-operand ranges (§4.4), and
-//!   merge groups for values written on both sides of a hammock (§4.5).
+//!   merge groups for values written on both sides of a hammock (§4.5);
+//! * [`absint`] — a fixpoint abstract interpreter computing per-register
+//!   interval value ranges, tid-affine forms, and warp-uniformity, plus the
+//!   [`absint::last_use`] hint pass (covered reads under matching guards)
+//!   that powers compiler-assisted early release in `rfh-alloc`.
 //!
 //! The output of [`strand::mark_strands`] + [`defuse::strand_values`] is
 //! exactly the input the allocation algorithms in `rfh-alloc` consume.
 
+pub mod absint;
 pub mod bitset;
 pub mod defuse;
 pub mod dom;
 pub mod liveness;
 pub mod strand;
 
+pub use absint::{
+    last_use::LastUseHints, AbsCtx, AbsResults, AbsVal, DeadEdge, InstrFacts, PredAbs,
+};
 pub use bitset::RegSet;
 pub use defuse::{ReadRef, StrandValues, ValueInstance};
 pub use dom::DomTree;

@@ -10,9 +10,19 @@
 //! is false the old value survives, so liveness and reaching definitions
 //! treat guarded defs as weak updates.
 
+use std::collections::HashSet;
+
 use rfh_isa::{InstrRef, Instruction, Kernel};
 
 use crate::bitset::RegSet;
+
+/// A set of operand reads excluded from liveness `gen` sets, keyed by
+/// `(instruction, source-operand index)`. Produced by
+/// [`crate::absint::last_use`]: a *covered* read observes a guarded
+/// definition earlier in the same strand (never the value flowing into the
+/// block), so it is not upward-exposed and does not keep the register live
+/// across the preceding program region.
+pub type ExcludedReads = HashSet<(InstrRef, usize)>;
 
 /// Block-level liveness sets for one kernel.
 #[derive(Debug, Clone)]
@@ -35,6 +45,14 @@ impl Liveness {
     /// Computes block-level liveness by iterating the backward dataflow
     /// equations to a fixed point.
     pub fn compute(kernel: &Kernel) -> Liveness {
+        Self::compute_excluding(kernel, &ExcludedReads::new())
+    }
+
+    /// [`Liveness::compute`] with a set of reads excluded from the `gen`
+    /// sets. Excluded reads are *covered* (see [`ExcludedReads`]): they
+    /// provably observe an in-block guarded definition, not the block-entry
+    /// value, so they are not upward-exposed uses.
+    pub fn compute_excluding(kernel: &Kernel, excluded: &ExcludedReads) -> Liveness {
         let n = kernel.blocks.len();
         let num_regs = kernel.num_regs();
         let mut live_in = vec![RegSet::new(num_regs); n];
@@ -45,8 +63,12 @@ impl Liveness {
         let mut kill = vec![RegSet::new(num_regs); n];
         for b in &kernel.blocks {
             let (g, k) = (&mut gen[b.id.index()], &mut kill[b.id.index()]);
-            for ins in &b.instrs {
-                for (_, r) in ins.reg_srcs() {
+            for (index, ins) in b.instrs.iter().enumerate() {
+                let at = InstrRef { block: b.id, index };
+                for (slot, r) in ins.reg_srcs() {
+                    if excluded.contains(&(at, slot.index())) {
+                        continue;
+                    }
                     if !kill_contains(k, r) {
                         g.insert(r);
                     }
@@ -97,14 +119,32 @@ impl Liveness {
     ///
     /// Panics if `at` is out of range for the kernel.
     pub fn live_after(&self, kernel: &Kernel, at: InstrRef) -> RegSet {
+        self.live_after_excluding(kernel, at, &ExcludedReads::new())
+    }
+
+    /// [`Liveness::live_after`] under an excluded-read set: covered reads do
+    /// not resurrect a register on the backward walk. Only meaningful when
+    /// `self` was built by [`Liveness::compute_excluding`] with the same set.
+    pub fn live_after_excluding(
+        &self,
+        kernel: &Kernel,
+        at: InstrRef,
+        excluded: &ExcludedReads,
+    ) -> RegSet {
         let block = kernel.block(at.block);
         let mut live = self.live_out[at.block.index()].clone();
-        for ins in block.instrs[at.index + 1..].iter().rev() {
+        for (index, ins) in block.instrs.iter().enumerate().skip(at.index + 1).rev() {
+            let here = InstrRef {
+                block: at.block,
+                index,
+            };
             for r in strong_defs(ins) {
                 live.remove(r);
             }
-            for (_, r) in ins.reg_srcs() {
-                live.insert(r);
+            for (slot, r) in ins.reg_srcs() {
+                if !excluded.contains(&(here, slot.index())) {
+                    live.insert(r);
+                }
             }
         }
         live
@@ -135,11 +175,21 @@ fn kill_contains(k: &RegSet, r: rfh_isa::Reg) -> bool {
 /// after the instruction — including the case where the instruction itself
 /// strongly redefines the register it reads.
 pub fn annotate_dead(kernel: &mut Kernel, liveness: &Liveness) {
+    annotate_dead_excluding(kernel, liveness, &ExcludedReads::new());
+}
+
+/// [`annotate_dead`] under an excluded-read set: covered reads neither keep
+/// a register live on the backward walk nor block an earlier read's
+/// `dead_after` flag, so strictly more reads are marked dead. `liveness`
+/// must have been built by [`Liveness::compute_excluding`] with the same
+/// set, or the flags are unsound.
+pub fn annotate_dead_excluding(kernel: &mut Kernel, liveness: &Liveness, excluded: &ExcludedReads) {
     let block_ids: Vec<_> = kernel.blocks.iter().map(|b| b.id).collect();
     for id in block_ids {
         let mut live = liveness.live_out[id.index()].clone();
         let block = kernel.block_mut(id);
-        for ins in block.instrs.iter_mut().rev() {
+        for (index, ins) in block.instrs.iter_mut().enumerate().rev() {
+            let at = InstrRef { block: id, index };
             for r in strong_defs(ins) {
                 live.remove(r);
             }
@@ -149,8 +199,10 @@ pub fn annotate_dead(kernel: &mut Kernel, liveness: &Liveness) {
                 .map(|s| s.as_reg().map(|r| !live.contains(r)).unwrap_or(false))
                 .collect();
             ins.dead_after.copy_from_slice(&flags);
-            for (_, r) in ins.reg_srcs() {
-                live.insert(r);
+            for (slot, r) in ins.reg_srcs() {
+                if !excluded.contains(&(at, slot.index())) {
+                    live.insert(r);
+                }
             }
         }
     }

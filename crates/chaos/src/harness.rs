@@ -21,14 +21,18 @@
 //! derived up front from the base seed, and outcomes are folded in case
 //! order, so reports and failure messages are identical at any job count.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use rfh_alloc::{allocate, validate_placements, AllocConfig};
+use rfh_alloc::{allocate, allocate_with_hints, validate_placements, AllocConfig};
+use rfh_analysis::absint::{self, last_use};
+use rfh_analysis::strand::mark_strands;
 use rfh_energy::EnergyModel;
-use rfh_isa::Kernel;
+use rfh_isa::{InstrRef, Kernel, Operand};
 use rfh_sim::counts::SwCounter;
 use rfh_sim::exec::{execute_with, execute_with_engine, Engine, ExecMode};
 use rfh_sim::machine::MachineConfig;
+use rfh_sim::sink::{InstrEvent, TraceSink};
 use rfh_testkit::pool::{par_map, par_map_with_jobs};
 use rfh_testkit::prelude::*;
 use rfh_workloads::Workload;
@@ -369,7 +373,10 @@ pub fn run_lint_layer(
     cases: usize,
     base_seed: u64,
 ) -> Result<ChaosReport, String> {
-    let options = rfh_lint::LintOptions { alloc: *cfg };
+    let options = rfh_lint::LintOptions {
+        alloc: *cfg,
+        ..Default::default()
+    };
     let seeds = case_seeds(base_seed, cases);
     let outcomes = par_map(&seeds, |&seed| {
         catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
@@ -574,4 +581,316 @@ pub fn run_exec_differential_layer(
         }))
     });
     fold_cases(&seeds, outcomes, "exec-differential")
+}
+
+/// A [`TraceSink`] that checks every claim of the abstract interpreter
+/// against the concrete execution, per instruction and per lane:
+///
+/// * written register values stay inside the predicted interval;
+/// * affine claims (`coef·tid + off`) match bit-exactly;
+/// * uniform-marked writes never diverge across the executing lanes;
+/// * known/uniform predicate claims hold on written predicate bits;
+/// * a guard with a known truth value masks exactly as predicted;
+/// * no executing lane reaches an instruction proved unreachable;
+/// * a read marked as a proven last use really is final: no later read
+///   of that register executes on the same lane before a redefinition.
+///
+/// The first violated claim is recorded in `violation` and checking stops.
+struct CheckSink<'a> {
+    kernel: &'a Kernel,
+    res: &'a absint::AbsResults,
+    hints: &'a last_use::LastUseHints,
+    warps_per_cta: usize,
+    warp_width: usize,
+    /// Per `(warp, register index)`: lane mask armed by a proven last use,
+    /// cleared by redefinition or warp completion.
+    armed: HashMap<(usize, usize), u32>,
+    violation: Option<String>,
+}
+
+impl<'a> CheckSink<'a> {
+    fn new(
+        kernel: &'a Kernel,
+        res: &'a absint::AbsResults,
+        hints: &'a last_use::LastUseHints,
+        warps_per_cta: usize,
+        warp_width: usize,
+    ) -> Self {
+        CheckSink {
+            kernel,
+            res,
+            hints,
+            warps_per_cta,
+            warp_width,
+            armed: HashMap::new(),
+            violation: None,
+        }
+    }
+
+    fn lane_tid(&self, warp: usize, lane: usize) -> i32 {
+        ((warp % self.warps_per_cta) * self.warp_width + lane) as i32
+    }
+
+    fn check_reg_claim(
+        &mut self,
+        claim: &absint::AbsVal,
+        warp: usize,
+        at: InstrRef,
+        reg: rfh_isa::Reg,
+        lanes: &[u32],
+        exec_mask: u32,
+    ) {
+        let mut first_exec: Option<u32> = None;
+        for (lane, &v) in lanes.iter().enumerate() {
+            if exec_mask & (1 << lane) == 0 {
+                continue;
+            }
+            let signed = v as i32;
+            if signed < claim.lo || signed > claim.hi {
+                self.violation = Some(format!(
+                    "absint interval violated at {at}: warp {warp} lane {lane} wrote \
+                     {signed} to {reg}, outside the predicted [{}, {}]",
+                    claim.lo, claim.hi
+                ));
+                return;
+            }
+            if let Some((coef, off)) = claim.affine {
+                let expect = coef
+                    .wrapping_mul(self.lane_tid(warp, lane))
+                    .wrapping_add(off) as u32;
+                if v != expect {
+                    self.violation = Some(format!(
+                        "absint affine claim violated at {at}: warp {warp} lane {lane} wrote \
+                         {v:#x} to {reg}, expected {coef}·tid + {off} = {expect:#x}"
+                    ));
+                    return;
+                }
+            }
+            match first_exec {
+                None => first_exec = Some(v),
+                Some(w0) if claim.uniform && v != w0 => {
+                    self.violation = Some(format!(
+                        "absint uniformity violated at {at}: warp {warp} wrote divergent \
+                         values {w0:#x} and {v:#x} to uniform-marked {reg}"
+                    ));
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+impl TraceSink for CheckSink<'_> {
+    fn on_instr(&mut self, event: &InstrEvent<'_>) {
+        if self.violation.is_some() {
+            return;
+        }
+        let f = self.res.fact(event.at);
+        if event.exec_mask != 0 && !f.reachable {
+            self.violation = Some(format!(
+                "absint reachability violated: lanes executed {} (warp {}) though the \
+                 analysis proved no lane can reach it",
+                event.at, event.warp
+            ));
+            return;
+        }
+        // A guard with a known truth value must mask exactly as predicted.
+        if let (Some(g), Some(ga)) = (&event.instr.guard, &f.guard) {
+            if let Some(v) = ga.known {
+                let expect = if v != g.negated { event.active_mask } else { 0 };
+                if event.exec_mask != expect {
+                    self.violation = Some(format!(
+                        "absint guard claim violated at {}: predicate known {v} but warp {} \
+                         executed with mask {:#x} (active {:#x})",
+                        event.at, event.warp, event.exec_mask, event.active_mask
+                    ));
+                    return;
+                }
+            } else if ga.uniform && event.exec_mask != 0 && event.exec_mask != event.active_mask {
+                self.violation = Some(format!(
+                    "absint guard uniformity violated at {}: warp {} split over a \
+                     uniform-marked guard (exec {:#x} of active {:#x})",
+                    event.at, event.warp, event.exec_mask, event.active_mask
+                ));
+                return;
+            }
+        }
+        // Last-use protocol: check reads against armed lanes, then arm this
+        // instruction's own proven last uses, then let its definitions
+        // disarm (a read+write of the same register starts a new value).
+        for (slot, src) in event.instr.srcs.iter().enumerate() {
+            let Operand::Reg(r) = src else { continue };
+            let key = (event.warp, r.index() as usize);
+            let armed = self.armed.get(&key).copied().unwrap_or(0);
+            if armed & event.exec_mask != 0 {
+                self.violation = Some(format!(
+                    "last-use hint violated: {r} read again at {} (warp {}, lanes {:#x}) \
+                     after a read the analysis proved final",
+                    event.at,
+                    event.warp,
+                    armed & event.exec_mask
+                ));
+                return;
+            }
+            if self.hints.excluded.contains(&(event.at, slot)) {
+                *self.armed.entry(key).or_insert(0) |= event.exec_mask;
+            }
+        }
+        for r in event.instr.def_regs() {
+            if let Some(mask) = self.armed.get_mut(&(event.warp, r.index() as usize)) {
+                *mask &= !event.exec_mask;
+            }
+        }
+    }
+
+    fn on_warp_done(&mut self, warp: usize) {
+        self.armed.retain(|&(w, _), _| w != warp);
+    }
+
+    fn on_reg_write(
+        &mut self,
+        warp: usize,
+        at: InstrRef,
+        reg: rfh_isa::Reg,
+        lanes: &[u32],
+        exec_mask: u32,
+    ) {
+        if self.violation.is_some() {
+            return;
+        }
+        let Some(d) = self.kernel.instr(at).dst else {
+            return;
+        };
+        let f = self.res.fact(at);
+        let claim = if reg == d.reg { &f.dst } else { &f.dst_hi };
+        if let Some(claim) = *claim {
+            self.check_reg_claim(&claim, warp, at, reg, lanes, exec_mask);
+        }
+    }
+
+    fn on_pred_write(
+        &mut self,
+        warp: usize,
+        at: InstrRef,
+        pred: rfh_isa::PredReg,
+        bits: u32,
+        exec_mask: u32,
+    ) {
+        if self.violation.is_some() {
+            return;
+        }
+        let Some(claim) = &self.res.fact(at).pdst else {
+            return;
+        };
+        let exec_bits = bits & exec_mask;
+        if let Some(v) = claim.known {
+            let expect = if v { exec_mask } else { 0 };
+            if exec_bits != expect {
+                self.violation = Some(format!(
+                    "absint predicate claim violated at {at}: warp {warp} wrote bits {bits:#x} \
+                     to {pred} (exec {exec_mask:#x}) but the analysis proved every lane \
+                     writes {v}"
+                ));
+            }
+        } else if claim.uniform && exec_bits != 0 && exec_bits != exec_mask {
+            self.violation = Some(format!(
+                "absint predicate uniformity violated at {at}: warp {warp} wrote mixed bits \
+                 {bits:#x} to uniform-marked {pred} (exec {exec_mask:#x})"
+            ));
+        }
+    }
+}
+
+/// Fuzzes the abstract interpreter (`rfh_analysis::absint`) and its
+/// last-use hint pass with structural IR corruptions and proves their
+/// **soundness on every surviving mutant**: the analyses must be
+/// panic-free on any validated kernel, every claim they derive must hold
+/// on the concrete baseline execution ([`CheckSink`] — intervals, affine
+/// forms, warp uniformity, predicate knowledge, reachability, and the
+/// last-use read protocol, checked per lane), and hint-guided allocation
+/// ([`allocate_with_hints`]) must preserve the mutant's semantics exactly
+/// under the usual differential contract.
+///
+/// # Errors
+///
+/// Returns a replayable description of the first violation: a panic in
+/// analysis, a concrete value escaping its predicted range, a divergent
+/// uniform-marked register, a read after a proven last use, or a
+/// hint-allocated mutant whose execution differs from its own baseline.
+pub fn run_absint_layer(
+    w: &Workload,
+    cfg: &AllocConfig,
+    cases: usize,
+    base_seed: u64,
+) -> Result<ChaosReport, String> {
+    let machine = bounded_machine();
+    let ctx = absint::AbsCtx {
+        threads_per_cta: Some(w.launch.threads_per_cta as u32),
+        ctas: Some(w.launch.ctas as u32),
+    };
+    let warps_per_cta = w.launch.threads_per_cta.div_ceil(machine.warp_width);
+    let seeds = case_seeds(base_seed, cases);
+    let outcomes = par_map(&seeds, |&seed| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut mutant = w.kernel.clone();
+            ir::mutate_kernel(&mut mutant, &mut rng);
+            if mutant == w.kernel {
+                return Ok(CaseOutcome::Unchanged);
+            }
+            if rfh_isa::validate(&mutant).is_err() {
+                return Ok(CaseOutcome::Rejected);
+            }
+            // The analyses must be panic-free and sound on any kernel that
+            // passed validation — mutants included.
+            let mut marked = mutant.clone();
+            mark_strands(&mut marked);
+            let res = absint::analyze(&marked, ctx);
+            let hints = last_use::analyze(&marked);
+            let mut sink = CheckSink::new(&marked, &res, &hints, warps_per_cta, machine.warp_width);
+            let mut base_mem = w.memory.clone();
+            let base = execute_with(
+                &marked,
+                &w.launch,
+                &mut base_mem,
+                ExecMode::Baseline,
+                &machine,
+                &mut [&mut sink],
+            );
+            // Claims checked before a structured abort are still claims.
+            if let Some(v) = sink.violation {
+                return Err(v);
+            }
+            // Hint-guided allocation must preserve the mutant's semantics.
+            let mut hinted = mutant.clone();
+            if allocate_with_hints(&mut hinted, cfg, &EnergyModel::paper(), true).is_err() {
+                return Ok(CaseOutcome::Rejected);
+            }
+            let mut hier_mem = w.memory.clone();
+            let hier = execute_with(
+                &hinted,
+                &w.launch,
+                &mut hier_mem,
+                ExecMode::Hierarchy(*cfg),
+                &machine,
+                &mut [],
+            );
+            match (base, hier) {
+                (Ok(_), Ok(_)) => {
+                    if base_mem.words() == hier_mem.words() {
+                        Ok(CaseOutcome::Identical)
+                    } else {
+                        Err("hint-allocated mutant diverged from its own baseline execution".into())
+                    }
+                }
+                (Err(_), Err(_)) => Ok(CaseOutcome::Structured),
+                (Ok(_), Err(e)) => Err(format!(
+                    "hierarchy-only failure on a hint-allocated mutant: {e}"
+                )),
+                (Err(e), Ok(_)) => Err(format!("baseline-only failure on a validated mutant: {e}")),
+            }
+        }))
+    });
+    fold_cases(&seeds, outcomes, "absint")
 }

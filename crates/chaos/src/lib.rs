@@ -46,6 +46,16 @@
 //! serving throughout — no deaths, no poisoned workers, no leaked queue
 //! slots.
 //!
+//! A seventh layer ([`harness::run_absint_layer`]) turns the IR mutants
+//! on the *abstract interpreter* (`rfh_analysis::absint`) and its
+//! last-use hint pass: on every surviving mutant, the analyses must be
+//! panic-free, every derived claim must hold on the concrete execution —
+//! written values inside predicted intervals, affine forms bit-exact,
+//! uniform-marked registers never divergent across a warp, predicate
+//! knowledge and reachability respected, and no read ever following a
+//! read the analysis proved final — and hint-guided allocation must be
+//! semantics-preserving under the differential contract.
+//!
 //! Every case derives its RNG seed from a base seed via SplitMix64, so a
 //! failure report pinpoints one replayable case. Set `RFH_TESTKIT_SEED`
 //! to override the base seed and `RFH_CHAOS_CASES` to scale the case
@@ -59,6 +69,6 @@ pub mod place;
 pub mod wire;
 
 pub use harness::{
-    cases_from_env, run_byte_layer, run_exec_differential_layer, run_ir_layer, run_lint_layer,
-    run_place_layer, run_protocol_layer, seed_from_env, ChaosReport,
+    cases_from_env, run_absint_layer, run_byte_layer, run_exec_differential_layer, run_ir_layer,
+    run_lint_layer, run_place_layer, run_protocol_layer, seed_from_env, ChaosReport,
 };

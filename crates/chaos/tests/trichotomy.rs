@@ -10,8 +10,8 @@
 
 use rfh_alloc::AllocConfig;
 use rfh_chaos::{
-    cases_from_env, run_byte_layer, run_exec_differential_layer, run_ir_layer, run_lint_layer,
-    run_place_layer, seed_from_env,
+    cases_from_env, run_absint_layer, run_byte_layer, run_exec_differential_layer, run_ir_layer,
+    run_lint_layer, run_place_layer, seed_from_env,
 };
 use rfh_workloads::Workload;
 
@@ -203,6 +203,52 @@ fn protocol_layer_trichotomy_holds() {
         report.rejected > 0,
         "abandoned connections should be torn down cleanly: {report}"
     );
+}
+
+#[test]
+fn absint_layer_soundness_holds() {
+    // Every claim of the abstract interpreter — value intervals, affine
+    // forms, warp uniformity, predicate knowledge, reachability, and the
+    // last-use read protocol — is checked per lane against the concrete
+    // execution of every surviving mutant, and hint-guided allocation
+    // must preserve each mutant's semantics exactly.
+    let cases = cases_from_env(1000);
+    let report = run_absint_layer(
+        &workload("vectoradd"),
+        &cfg(),
+        cases,
+        seed_from_env(0xAB51_000A),
+    )
+    .expect("absint soundness violated: a claim failed on a concrete execution");
+    assert_eq!(
+        report.cases, cases,
+        "all cases classified — zero panics, zero escaped claims ({report})"
+    );
+    assert!(
+        report.identical > 0,
+        "benign mutants should execute under the checker and match hinted allocation: {report}"
+    );
+    assert!(
+        report.rejected > 0,
+        "structural damage should trip the validator: {report}"
+    );
+}
+
+#[test]
+fn absint_layer_soundness_holds_on_a_divergent_kernel() {
+    // Mandelbrot's data-dependent loop exit stresses the widening and
+    // divergence tracking hardest: guards flip per lane and per
+    // iteration, so over-eager uniformity or interval claims die here.
+    let cases = cases_from_env(1000).min(500);
+    let report = run_absint_layer(
+        &workload("mandelbrot"),
+        &AllocConfig::two_level(3),
+        cases,
+        seed_from_env(0xAB51_000B),
+    )
+    .expect("absint soundness violated on a divergent-kernel mutant");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(report.identical + report.structured > 0, "{report}");
 }
 
 #[test]

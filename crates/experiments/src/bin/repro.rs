@@ -18,7 +18,8 @@
 //!   ablation                      design-choice ablations
 //!   characterize                  workload characterization table
 //!   exec-bench                    executor throughput, SoA vs reference
-//!   all                           everything except exec-bench (default)
+//!   hints                         last-use allocation hints, off vs on
+//!   all                           everything except exec-bench and hints (default)
 //! ```
 //!
 //! All experiments share one [`ExperimentCtx`], so baselines, allocated
@@ -30,7 +31,11 @@
 //! `--bench-json <path>` writes per-experiment wall times as JSON
 //! (schema `rfh-repro-bench-v1`).
 //!
-//! `exec-bench` is the one experiment excluded from `all`: it reports
+//! `hints` is excluded from `all` because it measures the non-default
+//! `--hints` allocation path, and `repro all` must keep regenerating the
+//! committed default-path goldens byte-for-byte.
+//!
+//! `exec-bench` is the other experiment excluded from `all`: it reports
 //! wall-clock executor throughput (SoA engine vs the frozen reference
 //! oracle), which is machine-dependent, and `repro all` output must stay
 //! byte-identical across runs for the determinism tests.
@@ -41,8 +46,8 @@
 use std::time::Instant;
 
 use rfh_experiments::{
-    ablation, characterize, encoding, exec_bench, fig11, fig12, fig13, fig14, fig15, fig2, limit,
-    perf, tables, ExperimentCtx,
+    ablation, characterize, encoding, exec_bench, fig11, fig12, fig13, fig14, fig15, fig2, hints,
+    limit, perf, tables, ExperimentCtx,
 };
 
 /// Reports an I/O failure on a user-supplied path and exits with the
@@ -195,6 +200,7 @@ fn main() {
                 write_csv("characterize", rfh_experiments::csv::characterize_csv(&r));
                 characterize::print(&r)
             }
+            "hints" => hints::print(&hints::run(&workloads)),
             "exec-bench" => {
                 let reps = rfh_testkit::env::usize_knob("RFH_EXEC_BENCH_REPS")
                     .unwrap_or(5)

@@ -22,6 +22,7 @@
 //! | [`ablation`] | design-choice ablations (optimizations, LRF shape, priority, RFC policy) |
 //! | [`characterize`] | workload characterization (instruction mix, divergence, strands) |
 //! | [`exec_bench`] | executor throughput: SoA engine vs reference oracle (not in `repro all`) |
+//! | [`hints`] | last-use allocation hints: accesses/energy, `--hints` off vs on (not in `repro all`) |
 //!
 //! All experiments execute every workload to completion (the paper's
 //! methodology, §5.1) and *verify each run against the workload's host
@@ -47,6 +48,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig2;
+pub mod hints;
 pub mod limit;
 pub mod perf;
 pub mod report;

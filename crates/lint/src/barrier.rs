@@ -31,7 +31,7 @@ pub(crate) struct Uniformity {
 }
 
 impl Uniformity {
-    fn non_uniform_guard(&self, guard: &PredGuard) -> bool {
+    pub(crate) fn non_uniform_guard(&self, guard: &PredGuard) -> bool {
         self.preds[guard.reg.index() as usize]
     }
 }

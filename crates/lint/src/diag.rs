@@ -9,9 +9,13 @@ use rfh_isa::{BlockId, InstrRef};
 /// Errors are soundness-relevant: the kernel may compute wrong results,
 /// deadlock, or carry inconsistent placement annotations. Warnings are
 /// conservative or advisory: the analysis cannot prove the construct safe
-/// (races, pressure) or the code is merely wasteful (dead defs).
+/// (races, pressure) or the code is merely wasteful (dead defs). Notes
+/// record what an analysis *could not* conclude (an unverifiable index) or
+/// a pure efficiency observation (a foldable constant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Informational finding; never affects the exit status on its own.
+    Note,
     /// Advisory or conservative finding; `rfhc lint` still exits 0.
     Warning,
     /// Definite defect; `rfhc lint` exits with the lint error code.
@@ -22,6 +26,7 @@ impl Severity {
     /// Lower-case name, as rendered in human and JSON output.
     pub const fn as_str(self) -> &'static str {
         match self {
+            Severity::Note => "note",
             Severity::Warning => "warning",
             Severity::Error => "error",
         }
@@ -61,6 +66,17 @@ pub enum Code {
     /// RFH-L008 — a strand's candidate-value demand exceeds the configured
     /// ORF/LRF capacity; the allocator will keep values in the MRF.
     Pressure,
+    /// RFH-L009 — a shared-memory access whose address interval, as proved
+    /// by abstract interpretation, lies entirely outside the declared
+    /// shared-memory size: every executing lane faults.
+    SharedOob,
+    /// RFH-L010 — a branch guarded by a thread-dependent predicate that
+    /// abstract interpretation proves warp-uniform: the divergence
+    /// machinery (reconvergence token, mask split) is provably unused.
+    UniformBranch,
+    /// RFH-L011 — an ALU instruction whose result is a proven compile-time
+    /// constant: the operation could be folded to an immediate `mov`.
+    ConstFold,
 }
 
 impl Code {
@@ -75,18 +91,28 @@ impl Code {
             Code::LrfMisuse => "RFH-L006",
             Code::OrfConflict => "RFH-L007",
             Code::Pressure => "RFH-L008",
+            Code::SharedOob => "RFH-L009",
+            Code::UniformBranch => "RFH-L010",
+            Code::ConstFold => "RFH-L011",
         }
     }
 
-    /// The fixed severity of this code.
+    /// The default severity of this code. Individual findings may lower it
+    /// (e.g. RFH-L005 "unverifiable index" notes); see
+    /// [`Diagnostic::severity`].
     pub const fn severity(self) -> Severity {
         match self {
-            Code::UseBeforeDef | Code::BarrierDivergence | Code::LrfMisuse | Code::OrfConflict => {
-                Severity::Error
-            }
-            Code::UnreachableBlock | Code::DeadDef | Code::SharedRace | Code::Pressure => {
-                Severity::Warning
-            }
+            Code::UseBeforeDef
+            | Code::BarrierDivergence
+            | Code::LrfMisuse
+            | Code::OrfConflict
+            | Code::SharedOob => Severity::Error,
+            Code::UnreachableBlock
+            | Code::DeadDef
+            | Code::SharedRace
+            | Code::Pressure
+            | Code::UniformBranch => Severity::Warning,
+            Code::ConstFold => Severity::Note,
         }
     }
 }
@@ -98,11 +124,15 @@ impl fmt::Display for Code {
 }
 
 /// One finding: a code, a span (block, optionally an instruction index
-/// within it), and a human-readable message.
+/// within it), a severity, and a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// The stable diagnostic code (which fixes the severity).
+    /// The stable diagnostic code.
     pub code: Code,
+    /// The severity of this particular finding. Defaults to
+    /// [`Code::severity`]; a check may lower it to [`Severity::Note`] for
+    /// informational variants of a code.
+    pub severity: Severity,
     /// The block the finding is anchored to.
     pub block: BlockId,
     /// The instruction index within `block`, or `None` for block-level
@@ -117,9 +147,20 @@ impl Diagnostic {
     pub fn at(code: Code, at: InstrRef, message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             code,
+            severity: code.severity(),
             block: at.block,
             instr: Some(at.index),
             message: message.into(),
+        }
+    }
+
+    /// A note-severity finding anchored to one instruction (used for
+    /// informational variants of a code, e.g. RFH-L005 "unverifiable
+    /// index").
+    pub fn note_at(code: Code, at: InstrRef, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::at(code, at, message)
         }
     }
 
@@ -127,15 +168,16 @@ impl Diagnostic {
     pub fn at_block(code: Code, block: BlockId, message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             code,
+            severity: code.severity(),
             block,
             instr: None,
             message: message.into(),
         }
     }
 
-    /// The fixed severity of this finding's code.
+    /// The severity of this finding.
     pub fn severity(&self) -> Severity {
-        self.code.severity()
+        self.severity
     }
 
     /// Deterministic ordering key: program order first (block, then

@@ -17,6 +17,16 @@
 //! | RFH-L006 | error | LRF placement contract violation |
 //! | RFH-L007 | error | ORF/MRF placement inconsistency (incl. stale MRF reads) |
 //! | RFH-L008 | warning | upper-level pressure predicting MRF spills |
+//! | RFH-L009 | error | provably out-of-bounds shared-memory access |
+//! | RFH-L010 | warning | provably uniform branch under a thread-dependent predicate |
+//! | RFH-L011 | note | constant-foldable ALU operation |
+//!
+//! RFH-L009 through RFH-L011 (and the interval sharpening of RFH-L005 and
+//! dead-edge pruning of RFH-L008) are powered by one run of the abstract
+//! interpreter in `rfh_analysis::absint` — interval value ranges, tid-affine
+//! forms, and warp-uniformity over the kernel CFG. RFH-L005 additionally
+//! emits note-severity findings for shared-memory indices the affine
+//! resolver cannot verify.
 //!
 //! `docs/LINTS.md` documents every code with a triggering example. The
 //! entry point is [`lint_kernel`]; `rfhc lint` wires it to the command
@@ -28,6 +38,8 @@
 //! Linting never mutates the kernel and never panics on a kernel that
 //! passed [`rfh_isa::validate`].
 
+use rfh_analysis::absint::{self, AbsCtx};
+use rfh_analysis::strand::mark_strands;
 use rfh_analysis::DomTree;
 use rfh_isa::Kernel;
 
@@ -39,6 +51,7 @@ mod pressure;
 mod race;
 pub mod render;
 mod undef;
+mod value;
 
 pub use diag::{has_errors, Code, Diagnostic, Severity};
 pub use render::{human_line, json_line};
@@ -54,14 +67,19 @@ pub struct LintOptions {
     /// unallocated kernels (all-MRF annotations) pass the placement checks
     /// under any configuration.
     pub alloc: AllocConfig,
+    /// The shared-memory size, in 32-bit words, that RFH-L009 bounds-checks
+    /// proven address intervals against.
+    pub shared_words: usize,
 }
 
 impl Default for LintOptions {
     /// The paper's most efficient configuration (3 ORF entries, split
-    /// LRF), matching [`AllocConfig::default`].
+    /// LRF), matching [`AllocConfig::default`], and the simulator's default
+    /// 8192-word (32 KiB) shared memory.
     fn default() -> Self {
         LintOptions {
             alloc: AllocConfig::default(),
+            shared_words: 8192,
         }
     }
 }
@@ -75,12 +93,20 @@ impl Default for LintOptions {
 pub fn lint_kernel(kernel: &Kernel, options: &LintOptions) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let dom = DomTree::dominators(kernel);
+    // One abstract-interpretation run feeds the L005 sharpening, the L008
+    // dead-strand pruning, and the L009–L011 checks. Strand marking
+    // mutates `ends_strand` bits, so it runs on a clone; instruction
+    // positions are unchanged, so the facts map back to `kernel`.
+    let mut marked = kernel.clone();
+    let info = mark_strands(&mut marked);
+    let absres = absint::analyze(&marked, AbsCtx::default());
     undef::check(kernel, &dom, &mut diags);
     dead::check(kernel, &dom, &mut diags);
     barrier::check(kernel, &dom, &mut diags);
-    race::check(kernel, &dom, &mut diags);
+    race::check(kernel, &dom, &absres, &mut diags);
     place::check(kernel, &options.alloc, &mut diags);
-    pressure::check(kernel, &options.alloc, &mut diags);
+    pressure::check(&marked, &info, &options.alloc, &absres, &mut diags);
+    value::check(kernel, &absres, options.shared_words, &mut diags);
     diags.sort_by_key(|a| a.sort_key());
     diags.dedup();
     diags

@@ -11,10 +11,15 @@
 //! candidates must stay in the MRF — the same occupancy pressure that
 //! drives the allocator's spill decisions, surfaced as a warning so the
 //! capacity can be revisited without rerunning the allocator sweep.
+//!
+//! Abstract interpretation sharpens the check: strands in blocks the
+//! interpreter proves unreachable (dead branch edges) are skipped — dead
+//! code cannot oversubscribe a register file.
 
 use rfh_alloc::{AllocConfig, LrfMode};
+use rfh_analysis::absint::AbsResults;
 use rfh_analysis::defuse::all_strand_values;
-use rfh_analysis::strand::mark_strands;
+use rfh_analysis::strand::StrandInfo;
 use rfh_analysis::{Liveness, StrandValues};
 use rfh_isa::Kernel;
 
@@ -93,7 +98,20 @@ fn peak_demand(intervals: &[Interval]) -> usize {
 }
 
 /// Runs the check, appending RFH-L008 findings to `diags`.
-pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagnostic>) {
+///
+/// `marked` is the strand-marked clone (and `info`/`res` its strand map
+/// and abstract-interpretation results) that [`crate::lint_kernel`]
+/// prepares once and shares across the absint-driven checks. Strands
+/// whose code the abstract interpreter proves unreachable — blocks only
+/// enterable over dead edges — never execute, so their demand cannot
+/// oversubscribe anything and they are skipped.
+pub(crate) fn check(
+    marked: &Kernel,
+    info: &StrandInfo,
+    config: &AllocConfig,
+    res: &AbsResults,
+    diags: &mut Vec<Diagnostic>,
+) {
     let capacity = config.orf_entries
         + match config.lrf {
             LrfMode::None => 0,
@@ -103,18 +121,17 @@ pub(crate) fn check(kernel: &Kernel, config: &AllocConfig, diags: &mut Vec<Diagn
     if capacity == 0 {
         return; // the MRF baseline has nothing to oversubscribe
     }
-    // Strand marking mutates `ends_strand` bits; work on a clone so linting
-    // never rewrites the caller's kernel.
-    let mut marked = kernel.clone();
-    let info = mark_strands(&mut marked);
-    let liveness = Liveness::compute(&marked);
-    for sv in all_strand_values(&marked, &info, &liveness) {
+    let liveness = Liveness::compute(marked);
+    for sv in all_strand_values(marked, info, &liveness) {
+        let first = info.strand(sv.strand).instrs[0];
+        if !res.block_reachable[first.block.index()] {
+            continue; // proven-dead code exerts no pressure
+        }
         let intervals = candidate_intervals(&sv);
         let peak = peak_demand(&intervals);
         if peak <= capacity {
             continue;
         }
-        let first = info.strand(sv.strand).instrs[0];
         diags.push(Diagnostic::at(
             Code::Pressure,
             first,

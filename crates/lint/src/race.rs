@@ -15,9 +15,19 @@
 //! address written by every thread — is flagged. Guards are ignored
 //! (predication that partitions threads across disjoint ranges is beyond
 //! this analysis), so the check over-approximates: findings are warnings.
+//!
+//! Two abstract-interpretation refinements sharpen the check:
+//!
+//! * a colliding pair is **suppressed** when the two accesses' address
+//!   intervals (from `rfh_analysis::absint`) are disjoint — no thread of
+//!   one access can touch a word of the other, whatever the strides;
+//! * every access whose index the affine resolver cannot express emits a
+//!   note-severity "unverifiable index" finding, so a silent may-alias
+//!   assumption is visible in the report.
 
 use std::collections::BTreeSet;
 
+use rfh_analysis::absint::AbsResults;
 use rfh_analysis::DomTree;
 use rfh_isa::{InstrRef, Kernel, Opcode, Operand, Reg, Space, Special};
 
@@ -204,7 +214,7 @@ fn interval_from(kernel: &Kernel, start: InstrRef) -> Vec<InstrRef> {
 }
 
 /// Runs the check, appending RFH-L005 findings to `diags`.
-pub(crate) fn check(kernel: &Kernel, dom: &DomTree, diags: &mut Vec<Diagnostic>) {
+pub(crate) fn check(kernel: &Kernel, dom: &DomTree, res: &AbsResults, diags: &mut Vec<Diagnostic>) {
     let accesses: Vec<Access> = kernel
         .iter_instrs()
         .filter(|(at, _)| dom.is_reachable(at.block))
@@ -225,6 +235,31 @@ pub(crate) fn check(kernel: &Kernel, dom: &DomTree, diags: &mut Vec<Diagnostic>)
             })
         })
         .collect();
+
+    // Indices the affine resolver could not verify participate in every
+    // race decision as may-alias; surface that assumption as a note,
+    // quoting the abstract interval when it narrows the range at all.
+    for a in &accesses {
+        if a.addr != Addr::Unknown {
+            continue;
+        }
+        let iv = res.fact(a.at).srcs[0];
+        let range = if iv.lo != i32::MIN || iv.hi != i32::MAX {
+            format!(" (abstract word range [{}, {}])", iv.lo, iv.hi)
+        } else {
+            String::new()
+        };
+        diags.push(Diagnostic::note_at(
+            Code::SharedRace,
+            a.at,
+            format!(
+                "shared-memory access `{}` has an unverifiable (non-affine) index{range}: \
+                 the race analysis treats it as may-alias with every other shared access",
+                kernel.instr(a.at)
+            ),
+        ));
+    }
+
     if !accesses.iter().any(|a| a.is_store) {
         return;
     }
@@ -266,6 +301,16 @@ pub(crate) fn check(kernel: &Kernel, dom: &DomTree, diags: &mut Vec<Diagnostic>)
                 let self_pair = a.at == b.at;
                 if !may_collide(a.addr, b.addr, self_pair) {
                     continue;
+                }
+                // Interval sharpening: two distinct accesses with disjoint
+                // address intervals cannot alias, whatever the strides.
+                // (A self-pair shares one interval, so disjointness can
+                // never clear it.)
+                if !self_pair {
+                    let (ia, ib) = (res.fact(a.at).srcs[0], res.fact(b.at).srcs[0]);
+                    if ia.hi < ib.lo || ib.hi < ia.lo {
+                        continue;
+                    }
                 }
                 let key = (a.at.min(b.at), a.at.max(b.at));
                 if !reported.insert(key) {

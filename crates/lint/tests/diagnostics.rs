@@ -250,7 +250,13 @@ fn l006_and_l007_accept_real_allocator_output() {
     let model = rfh_energy::EnergyModel::paper();
     let mut k = w.kernel.clone();
     rfh_alloc::allocate(&mut k, &config, &model).expect("allocation succeeds");
-    let diags = lint_kernel(&k, &LintOptions { alloc: config });
+    let diags = lint_kernel(
+        &k,
+        &LintOptions {
+            alloc: config,
+            ..Default::default()
+        },
+    );
     assert!(
         !codes(&diags).contains(&Code::LrfMisuse) && !codes(&diags).contains(&Code::OrfConflict),
         "allocator output must satisfy the placement contract: {diags:?}"
@@ -357,5 +363,172 @@ fn l008_accepts_a_strand_that_fits_the_hierarchy() {
     assert!(
         !codes(&diags).contains(&Code::Pressure),
         "two live values fit comfortably: {diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- RFH-L009
+
+#[test]
+fn l009_flags_a_shared_access_provably_past_the_array() {
+    // Address 9000 is a compile-time constant past the default 8192-word
+    // shared memory: every executing lane faults.
+    let mut b = KernelBuilder::new("l009-pos");
+    b.push(ops::ld_shared(Reg::new(1), Operand::Imm(9000)));
+    b.push(ops::st_global(Operand::Imm(0), Reg::new(1).into()));
+    b.push(ops::exit());
+    let diags = lint(&b.finish());
+    assert!(
+        codes(&diags).contains(&Code::SharedOob),
+        "word 9000 is outside the 8192-word shared memory: {diags:?}"
+    );
+    assert_eq!(Code::SharedOob.severity(), Severity::Error);
+}
+
+#[test]
+fn l009_accepts_in_bounds_and_unbounded_shared_accesses() {
+    // A constant in-bounds index and a tid-dependent index whose interval
+    // overlaps the array: neither is *provably* out of bounds.
+    let mut b = KernelBuilder::new("l009-neg");
+    b.push(ops::mov(Reg::new(0), tid()));
+    b.push(ops::ld_shared(Reg::new(1), Operand::Imm(10)));
+    b.push(ops::ld_shared(Reg::new(2), Reg::new(0).into()));
+    b.push(ops::iadd(
+        Reg::new(3),
+        Reg::new(1).into(),
+        Reg::new(2).into(),
+    ));
+    b.push(ops::st_global(Operand::Imm(0), Reg::new(3).into()));
+    b.push(ops::exit());
+    let diags = lint(&b.finish());
+    assert!(
+        !codes(&diags).contains(&Code::SharedOob),
+        "neither access is provably out of bounds: {diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- RFH-L010
+
+#[test]
+fn l010_flags_a_provably_uniform_branch_on_a_thread_derived_predicate() {
+    // `tid & ~31` equals `32 * warp`: thread-derived (so the coarse taint
+    // analysis calls it non-uniform) but warp-uniform under the abstract
+    // interpreter — the branch can never split a warp.
+    let mut b = KernelBuilder::new("l010-pos");
+    b.push(ops::mov(Reg::new(0), tid()));
+    b.push(ops::and(Reg::new(1), Reg::new(0).into(), Operand::Imm(-32)));
+    b.push(ops::setp(
+        CmpOp::Lt,
+        PredReg::new(0),
+        Reg::new(1).into(),
+        Operand::Imm(64),
+    ));
+    let cur = b.current();
+    let then_side = b.add_block();
+    let merge = b.add_block();
+    b.switch_to(cur);
+    b.push(ops::bra_if(PredReg::new(0), true, merge));
+    b.switch_to(then_side);
+    b.push(ops::mov(Reg::new(2), Operand::Imm(1)));
+    b.push(ops::st_global(Operand::Imm(0), Reg::new(2).into()));
+    b.switch_to(merge);
+    b.push(ops::exit());
+    let diags = lint(&b.finish());
+    assert!(
+        codes(&diags).contains(&Code::UniformBranch),
+        "the guard is warp-uniform despite its tid lineage: {diags:?}"
+    );
+    assert_eq!(Code::UniformBranch.severity(), Severity::Warning);
+}
+
+#[test]
+fn l010_accepts_a_branch_that_really_diverges() {
+    // The guard compares raw `tid` — genuinely per-thread, so the branch
+    // can split a warp and no finding is produced.
+    let mut b = KernelBuilder::new("l010-neg");
+    b.push(ops::mov(Reg::new(0), tid()));
+    b.push(ops::setp(
+        CmpOp::Lt,
+        PredReg::new(0),
+        Reg::new(0).into(),
+        Operand::Imm(5),
+    ));
+    let cur = b.current();
+    let then_side = b.add_block();
+    let merge = b.add_block();
+    b.switch_to(cur);
+    b.push(ops::bra_if(PredReg::new(0), true, merge));
+    b.switch_to(then_side);
+    b.push(ops::mov(Reg::new(1), Operand::Imm(1)));
+    b.push(ops::st_global(Operand::Imm(0), Reg::new(1).into()));
+    b.switch_to(merge);
+    b.push(ops::exit());
+    let diags = lint(&b.finish());
+    assert!(
+        !codes(&diags).contains(&Code::UniformBranch),
+        "a genuinely divergent branch must not be flagged: {diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- RFH-L011
+
+#[test]
+fn l011_notes_a_constant_foldable_alu_op() {
+    let mut b = KernelBuilder::new("l011-pos");
+    b.push(ops::mov(Reg::new(0), Operand::Imm(5)));
+    b.push(ops::iadd(Reg::new(1), Reg::new(0).into(), Operand::Imm(2)));
+    b.push(ops::st_global(Operand::Imm(0), Reg::new(1).into()));
+    b.push(ops::exit());
+    let diags = lint(&b.finish());
+    let hit = diags
+        .iter()
+        .find(|d| d.code == Code::ConstFold)
+        .expect("iadd of two constants always computes 7");
+    assert_eq!(hit.severity(), Severity::Note, "L011 is informational");
+    assert!(hit.message.contains("0x7"), "names the constant: {hit:?}");
+}
+
+#[test]
+fn l011_stays_quiet_on_data_dependent_arithmetic() {
+    let mut b = KernelBuilder::new("l011-neg");
+    b.push(ops::mov(Reg::new(0), tid()));
+    b.push(ops::iadd(Reg::new(1), Reg::new(0).into(), Operand::Imm(2)));
+    b.push(ops::st_global(Operand::Imm(0), Reg::new(1).into()));
+    b.push(ops::exit());
+    let diags = lint(&b.finish());
+    assert!(
+        !codes(&diags).contains(&Code::ConstFold),
+        "tid + 2 is not a constant: {diags:?}"
+    );
+}
+
+// ------------------------------------------- RFH-L005 absint sharpening
+
+#[test]
+fn l005_interval_disjointness_suppresses_and_notes_nonaffine_indices() {
+    // The load index `(tid >> 28) + 8` is beyond the affine resolver
+    // (shifts of tid are not affine), so classically it may-aliases the
+    // store — but its interval is [8, 15] while the store's `0 - tid` is
+    // never positive, so the pair is provably disjoint. The unverifiable
+    // load index must still surface as a note.
+    let mut b = KernelBuilder::new("l005-sharpen");
+    b.push(ops::mov(Reg::new(0), tid()));
+    b.push(ops::shr(Reg::new(1), Reg::new(0).into(), Operand::Imm(28)));
+    b.push(ops::iadd(Reg::new(2), Reg::new(1).into(), Operand::Imm(8)));
+    b.push(ops::ld_shared(Reg::new(3), Reg::new(2).into()));
+    b.push(ops::isub(Reg::new(4), Operand::Imm(0), Reg::new(0).into()));
+    b.push(ops::st_shared(Reg::new(4).into(), Reg::new(3).into()));
+    b.push(ops::exit());
+    let diags = lint(&b.finish());
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.code == Code::SharedRace && d.severity() == Severity::Warning),
+        "disjoint intervals prove the pair race-free: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.code == Code::SharedRace
+            && d.severity() == Severity::Note
+            && d.message.contains("unverifiable")),
+        "the non-affine load index must be noted: {diags:?}"
     );
 }

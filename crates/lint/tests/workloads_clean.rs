@@ -12,7 +12,10 @@ use rfh_lint::{lint_kernel, LintOptions, Severity};
 fn all_workloads_lint_without_errors() {
     let config = rfh_alloc::AllocConfig::default();
     let model = rfh_energy::EnergyModel::paper();
-    let options = LintOptions { alloc: config };
+    let options = LintOptions {
+        alloc: config,
+        ..Default::default()
+    };
     let workloads = rfh_workloads::all();
     assert!(workloads.len() >= 35, "workload registry shrank");
 

@@ -488,7 +488,10 @@ pub fn handle_with(
         Op::Lint => {
             let r = resolve(req)?;
             rfh_isa::validate(&r.kernel).map_err(isa_error)?;
-            let options = rfh_lint::LintOptions { alloc: req.config };
+            let options = rfh_lint::LintOptions {
+                alloc: req.config,
+                ..Default::default()
+            };
             let diags = rfh_lint::lint_kernel(&r.kernel, &options);
             let errors = diags
                 .iter()

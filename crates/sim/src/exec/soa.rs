@@ -32,7 +32,8 @@
 use rfh_analysis::DomTree;
 use rfh_isa::access::AccessPlan;
 use rfh_isa::{
-    CmpOp, InstrRef, Instruction, Kernel, Opcode, Operand, ReadLoc, Space, Special, Width, WriteLoc,
+    CmpOp, InstrRef, Instruction, Kernel, Opcode, Operand, ReadLoc, Reg, Space, Special, Width,
+    WriteLoc,
 };
 
 use super::{
@@ -753,6 +754,49 @@ fn step_warp(
                         let c = fetch(op.srcs[2], data, ctx, lane);
                         let v = eval_alu(op.op, a, b, c).unwrap_or(0);
                         write_lane(data, &op.dst, lane, v, 0);
+                    }
+                }
+            }
+        }
+
+        // Post-write observer hooks: hand the sinks the destination lane
+        // values (and the new predicate lane mask) for the lanes that
+        // executed. Read back from the first destination row — every `lo`
+        // row received the same value for executing lanes, and non-exec
+        // lanes are unspecified by the hook contract. Emitted before the
+        // fill deposit, which never alters an executing lane's dst entry.
+        if exec_mask != 0 && !sinks.is_empty() {
+            if let Some(d) = op.instr.dst {
+                if op.dst.n_lo > 0 {
+                    let base = op.dst.lo[0] as usize;
+                    for s in sinks.iter_mut() {
+                        s.on_reg_write(
+                            ctx.warp,
+                            op.at,
+                            d.reg,
+                            &data[base..base + lanes],
+                            exec_mask,
+                        );
+                    }
+                }
+                if op.dst.wide && op.dst.n_hi > 0 {
+                    let base = op.dst.hi[0] as usize;
+                    let hi_reg = Reg::new(d.reg.index() + 1);
+                    for s in sinks.iter_mut() {
+                        s.on_reg_write(
+                            ctx.warp,
+                            op.at,
+                            hi_reg,
+                            &data[base..base + lanes],
+                            exec_mask,
+                        );
+                    }
+                }
+            }
+            if let OpKind::Setp { p, .. } = op.kind {
+                if let Some(pd) = op.instr.pdst {
+                    for s in sinks.iter_mut() {
+                        s.on_pred_write(ctx.warp, op.at, pd, preds[p], exec_mask);
                     }
                 }
             }

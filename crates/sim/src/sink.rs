@@ -44,6 +44,33 @@ pub trait TraceSink {
 
     /// Called when a warp finishes executing.
     fn on_warp_done(&mut self, _warp: usize) {}
+
+    /// Called after a destination register word is written, with the warp's
+    /// full lane values for that word (`lanes[i]` is lane `i`; only lanes
+    /// set in `exec_mask` were updated by this instruction). Emitted by the
+    /// SoA executor only; the default implementation ignores it.
+    fn on_reg_write(
+        &mut self,
+        _warp: usize,
+        _at: InstrRef,
+        _reg: rfh_isa::Reg,
+        _lanes: &[u32],
+        _exec_mask: u32,
+    ) {
+    }
+
+    /// Called after a destination predicate is written, with the warp's
+    /// per-lane truth bits (`bits & (1 << i)` is lane `i`; only lanes set
+    /// in `exec_mask` were updated). Emitted by the SoA executor only.
+    fn on_pred_write(
+        &mut self,
+        _warp: usize,
+        _at: InstrRef,
+        _pred: rfh_isa::PredReg,
+        _bits: u32,
+        _exec_mask: u32,
+    ) {
+    }
 }
 
 /// A sink that discards everything (for pure functional runs).
@@ -117,6 +144,32 @@ impl TraceSink for FanoutSink<'_> {
     fn on_warp_done(&mut self, warp: usize) {
         for child in &mut self.children {
             child.on_warp_done(warp);
+        }
+    }
+
+    fn on_reg_write(
+        &mut self,
+        warp: usize,
+        at: InstrRef,
+        reg: rfh_isa::Reg,
+        lanes: &[u32],
+        exec_mask: u32,
+    ) {
+        for child in &mut self.children {
+            child.on_reg_write(warp, at, reg, lanes, exec_mask);
+        }
+    }
+
+    fn on_pred_write(
+        &mut self,
+        warp: usize,
+        at: InstrRef,
+        pred: rfh_isa::PredReg,
+        bits: u32,
+        exec_mask: u32,
+    ) {
+        for child in &mut self.children {
+            child.on_pred_write(warp, at, pred, bits, exec_mask);
         }
     }
 }

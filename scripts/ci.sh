@@ -66,6 +66,19 @@ echo "==> lint smoke + golden diagnostics report"
 printf '%s\n' '.kernel smoke' 'BB0:' '  mov r0, %tid.x' '  st.global r0, r0' '  exit' \
     | ./target/release/rfhc lint --json - > /dev/null \
     || { echo "rfhc lint smoke FAILED"; exit 1; }
+# `--deny-warnings` turns every finding — warnings and notes included —
+# into exit code 8: a clean kernel still passes, a kernel with one
+# constant-fold note (RFH-L011) must fail.
+printf '%s\n' '.kernel smoke' 'BB0:' '  mov r0, %tid.x' '  st.global r0, r0' '  exit' \
+    | ./target/release/rfhc lint --deny-warnings - > /dev/null \
+    || { echo "rfhc lint --deny-warnings rejected a clean kernel"; exit 1; }
+set +e
+printf '%s\n' '.kernel noteful' 'BB0:' '  mov r0, 5' '  iadd r1, r0, 2' \
+    '  st.global r0, r1' '  exit' \
+    | ./target/release/rfhc lint --deny-warnings - > /dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 8 ] || { echo "lint --deny-warnings exited $rc on a noteful kernel, want 8"; exit 1; }
 RFH_JOBS=2 ./target/release/lint_report > "$artifacts/lint_report.txt"
 cmp results/lint_report.txt "$artifacts/lint_report.txt"
 echo "lint report byte-identical under RFH_JOBS=2"
@@ -165,9 +178,9 @@ echo "==> panic gate (hardened crates)"
 # no .unwrap() / panic! / unreachable! / todo! outside #[cfg(test)]
 # modules. `.expect("reason")` is allowed — the reason is the review gate.
 fail=0
-for f in crates/isa/src/*.rs crates/alloc/src/*.rs crates/sim/src/*.rs \
-    crates/sim/src/*/*.rs crates/chaos/src/*.rs crates/lint/src/*.rs \
-    crates/rfhd/src/*.rs; do
+for f in crates/isa/src/*.rs crates/alloc/src/*.rs crates/analysis/src/*.rs \
+    crates/sim/src/*.rs crates/sim/src/*/*.rs crates/chaos/src/*.rs \
+    crates/lint/src/*.rs crates/rfhd/src/*.rs; do
     hits=$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }

@@ -46,13 +46,29 @@ fn report() -> String {
     let model = rfh_energy::EnergyModel::paper();
     let sections = rfh_testkit::pool::par_map(&workloads, |w| {
         let mut s = format!("\n== workload {} ==\n", w.name);
-        lint_into(&mut s, &w.name, &w.kernel, &LintOptions { alloc: config });
+        lint_into(
+            &mut s,
+            &w.name,
+            &w.kernel,
+            &LintOptions {
+                alloc: config,
+                ..Default::default()
+            },
+        );
         let mut allocated = w.kernel.clone();
         match rfh_alloc::allocate(&mut allocated, &config, &model) {
             Err(e) => s.push_str(&format!("allocation error: {e}\n")),
             Ok(_) => {
                 s.push_str(&format!("-- {} (allocated) --\n", w.name));
-                lint_into(&mut s, &w.name, &allocated, &LintOptions { alloc: config });
+                lint_into(
+                    &mut s,
+                    &w.name,
+                    &allocated,
+                    &LintOptions {
+                        alloc: config,
+                        ..Default::default()
+                    },
+                );
             }
         }
         s

@@ -10,14 +10,20 @@
 //!
 //! ```text
 //! rfhc [--orf N] [--lrf none|unified|split] [--no-partial] [--no-readop]
-//!      [--plain] [--stats] [--jobs N] <kernel.rfasm | ->
-//! rfhc lint [--orf N] [--lrf none|unified|split] [--json] [--jobs N]
-//!      <kernel.rfasm | ->
+//!      [--hints] [--plain] [--stats] [--jobs N] <kernel.rfasm | ->
+//! rfhc lint [--orf N] [--lrf none|unified|split] [--json]
+//!      [--deny-warnings] [--jobs N] <kernel.rfasm | ->
 //! rfhc trace [--orf N] [--lrf none|unified|split] [--no-partial]
-//!      [--no-readop] [--baseline] [--json | --chrome | --profile]
+//!      [--no-readop] [--hints] [--baseline] [--json | --chrome | --profile]
 //!      [--ctas N] [--threads N] [--engine soa|reference] [--jobs N]
 //!      <kernel.rfasm | ->
 //! ```
+//!
+//! `--hints` feeds the allocator compiler-assisted last-use hints from the
+//! abstract interpreter (`rfh_analysis::absint`): reads proven to be a
+//! value's final read release its ORF/LRF entry immediately, eliding
+//! same-guard MRF safety copies. `--deny-warnings` makes `rfhc lint` exit
+//! with the lint error code on *any* finding, notes included.
 //!
 //! `--engine` selects the executor: the warp-batched SoA engine (the
 //! default) or the frozen reference interpreter it is differentially
@@ -38,16 +44,16 @@
 use std::io::Read;
 use std::process::exit;
 
-use rfh::alloc::{allocate, AllocConfig, LrfMode};
+use rfh::alloc::{allocate_with_hints, AllocConfig, LrfMode};
 use rfh::energy::EnergyModel;
 use rfh::{RfhError, EXIT_INTERNAL_PANIC};
 
 const USAGE: &str = "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-partial] \
-     [--no-readop] [--plain] [--stats] [--jobs N] <kernel.rfasm | ->\n\
-       rfhc lint [--orf N] [--lrf none|unified|split] [--json] [--jobs N] \
-     <kernel.rfasm | ->\n\
+     [--no-readop] [--hints] [--plain] [--stats] [--jobs N] <kernel.rfasm | ->\n\
+       rfhc lint [--orf N] [--lrf none|unified|split] [--json] [--deny-warnings] \
+     [--jobs N] <kernel.rfasm | ->\n\
        rfhc trace [--orf N] [--lrf none|unified|split] [--no-partial] [--no-readop] \
-     [--baseline]\n\
+     [--hints] [--baseline]\n\
              [--json | --chrome | --profile] [--ctas N] [--threads N] \
      [--engine soa|reference] [--jobs N]\n\
              <kernel.rfasm | ->\n\
@@ -110,6 +116,7 @@ fn real_main() -> Result<(), RfhError> {
     }
 
     let mut config = AllocConfig::three_level(3, true);
+    let mut hints = false;
     let mut plain = false;
     let mut stats_only = false;
     let mut input: Option<String> = None;
@@ -135,6 +142,7 @@ fn real_main() -> Result<(), RfhError> {
             }
             "--no-partial" => config.partial_ranges = false,
             "--no-readop" => config.read_operands = false,
+            "--hints" => hints = true,
             "--plain" => plain = true,
             "--stats" => stats_only = true,
             "--jobs" => set_jobs(&args.next().ok_or_else(|| usage("--jobs needs a value"))?),
@@ -149,7 +157,7 @@ fn real_main() -> Result<(), RfhError> {
 
     let mut kernel = rfh::isa::parse_kernel(&text)?;
 
-    let stats = allocate(&mut kernel, &config, &EnergyModel::paper())?;
+    let stats = allocate_with_hints(&mut kernel, &config, &EnergyModel::paper(), hints)?;
     if stats.demoted > 0 {
         eprintln!(
             "rfhc: warning: internal placement validation failed; \
@@ -183,10 +191,12 @@ fn real_main() -> Result<(), RfhError> {
 ///
 /// Diagnostics go to stdout (human lines, or JSON lines under `--json`);
 /// the summary goes to stderr. Error-severity findings exit 8; warnings
-/// alone exit 0.
+/// and notes alone exit 0 — unless `--deny-warnings` turns *any* finding
+/// into the lint exit code (for CI gates that keep reports empty).
 fn lint_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Result<(), RfhError> {
     let mut options = rfh::lint::LintOptions::default();
     let mut json = false;
+    let mut deny_warnings = false;
     let mut input: Option<String> = None;
 
     while let Some(arg) = args.next() {
@@ -206,6 +216,7 @@ fn lint_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Res
                 }
             }
             "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             "--jobs" => set_jobs(&args.next().ok_or_else(|| usage("--jobs needs a value"))?),
             "--help" | "-h" => return Err(usage("")),
             "-" if input.is_none() => input = Some("-".into()),
@@ -236,10 +247,20 @@ fn lint_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Res
         .iter()
         .filter(|d| d.severity() == rfh::lint::Severity::Error)
         .count();
-    let warnings = diags.len() - errors;
-    eprintln!("rfhc lint: {errors} error(s), {warnings} warning(s)");
+    let notes = diags
+        .iter()
+        .filter(|d| d.severity() == rfh::lint::Severity::Note)
+        .count();
+    let warnings = diags.len() - errors - notes;
+    eprintln!("rfhc lint: {errors} error(s), {warnings} warning(s), {notes} note(s)");
     if errors > 0 {
         return Err(RfhError::Lint { errors });
+    }
+    if deny_warnings && !diags.is_empty() {
+        eprintln!("rfhc lint: --deny-warnings treats every finding as an error");
+        return Err(RfhError::Lint {
+            errors: diags.len(),
+        });
     }
     Ok(())
 }
@@ -261,6 +282,7 @@ enum TraceFormat {
 /// `FanoutSink`, so the executor sees a single sink.
 fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Result<(), RfhError> {
     let mut config = AllocConfig::three_level(3, true);
+    let mut hints = false;
     let mut baseline = false;
     let mut format = TraceFormat::Json;
     let mut ctas: usize = 1;
@@ -289,6 +311,7 @@ fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Re
             }
             "--no-partial" => config.partial_ranges = false,
             "--no-readop" => config.read_operands = false,
+            "--hints" => hints = true,
             "--baseline" => baseline = true,
             "--json" => format = TraceFormat::Json,
             "--chrome" => format = TraceFormat::Chrome,
@@ -329,7 +352,7 @@ fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Re
         rfh::isa::validate(&kernel)?;
         rfh::sim::ExecMode::Baseline
     } else {
-        allocate(&mut kernel, &config, &EnergyModel::paper())?;
+        allocate_with_hints(&mut kernel, &config, &EnergyModel::paper(), hints)?;
         rfh::sim::ExecMode::Hierarchy(config)
     };
 

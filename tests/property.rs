@@ -52,6 +52,27 @@ prop! {
         common::check_dead_after_flags(seed, shape);
     }
 
+    /// The hint-refined `dead_after` flags (covered reads excluded from
+    /// liveness) pass the same dynamic never-read-after-dead check.
+    fn refined_dead_flags_are_sound(seed in 0u64..2000, shape in arb_shape()) {
+        common::check_refined_dead_flags(seed, shape);
+    }
+
+    /// The abstract interpreter is sound on arbitrary programs: every
+    /// executed register value lies in its predicted interval, affine
+    /// claims match bit-exactly per lane, uniform-marked writes never
+    /// diverge across a warp, and predicate/reachability claims hold.
+    fn absint_predicts_executed_values(seed in 0u64..2000, shape in arb_shape()) {
+        common::check_absint_sound(seed, shape);
+    }
+
+    /// `--hints off` splices byte-identically into the default allocation
+    /// pipeline; `--hints on` stays validator-clean and matches the
+    /// baseline memory image exactly.
+    fn hinted_allocation_is_transparent(seed in 0u64..2000, cfg in arb_config(), shape in arb_shape()) {
+        common::check_hinted_allocation(seed, cfg, shape);
+    }
+
     /// Strand partitioning is consistent: every strand's instructions are
     /// layout-contiguous, exactly the last one carries the end bit, and
     /// every instruction belongs to exactly one strand.

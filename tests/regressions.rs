@@ -47,3 +47,19 @@ fn seed_538_small_shape_structural_properties() {
     common::check_strand_partition(538, shape);
     common::check_text_round_trip(538, shape);
 }
+
+/// The abstract-interpretation-era checks on the same historic small
+/// shape: refined `dead_after` flags stay sound, per-lane value claims
+/// hold, and the hint pipeline splices transparently.
+#[test]
+fn seed_538_small_shape_absint_properties() {
+    let shape = GenConfig {
+        segments: 7,
+        run_len: 5,
+        max_trips: 1,
+        pool: 4,
+    };
+    common::check_refined_dead_flags(538, shape);
+    common::check_absint_sound(538, shape);
+    common::check_hinted_allocation(538, AllocConfig::three_level(3, true), shape);
+}
