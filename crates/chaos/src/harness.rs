@@ -37,7 +37,7 @@ use rfh_testkit::pool::{par_map, par_map_with_jobs};
 use rfh_testkit::prelude::*;
 use rfh_workloads::Workload;
 
-use crate::{byte, ir, place, wire};
+use crate::{byte, ir, place, trace, wire};
 
 /// Aggregate classification of one layer's mutant population.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -893,4 +893,94 @@ pub fn run_absint_layer(
         }))
     });
     fold_cases(&seeds, outcomes, "absint")
+}
+
+/// Fuzzes the *timing-engine pair* with seeded corruptions of a captured
+/// trace set and its scheduler config ([`crate::trace`]): reordered ops,
+/// perturbed latency classes, scrambled dependences, truncated warp
+/// streams, unbalanced barriers, and degenerate configs. Every mutant
+/// replays through both the staged engine and the frozen reference
+/// oracle; the contract is exact agreement on the full `Result` —
+/// identical `TimingResult`s on survivors (**identical**), identical
+/// structured errors on malformed inputs (**rejected** for up-front
+/// config errors, **structured** for deadlocks and budget trips), and no
+/// panics or hangs anywhere.
+///
+/// # Errors
+///
+/// Returns a replayable description of the first violation: a panic, an
+/// accept/reject asymmetry between the engines, or any divergence in
+/// results or error values (the deadlock snapshot included).
+pub fn run_timing_layer(w: &Workload, cases: usize, base_seed: u64) -> Result<ChaosReport, String> {
+    use rfh_sim::timing::{
+        simulate_timing_with_engine, Engine as TimingEngine, TimingConfig, TimingError,
+        TraceCapture,
+    };
+
+    // Capture the workload's trace once; every case mutates a clone.
+    let machine = MachineConfig::paper();
+    let mut cap = TraceCapture::new(machine.clone(), w.launch.threads_per_cta);
+    let mut mem = w.memory.clone();
+    execute_with(
+        &w.kernel,
+        &w.launch,
+        &mut mem,
+        ExecMode::Baseline,
+        &machine,
+        &mut [&mut cap],
+    )
+    .map_err(|e| format!("timing layer: trace capture failed for {}: {e}", w.name))?;
+    let warps_per_cta = cap.warps_per_cta();
+    let base_config = TimingConfig::two_level(8);
+
+    let seeds = case_seeds(base_seed, cases);
+    let outcomes = par_map(&seeds, |&seed| {
+        catch_unwind(AssertUnwindSafe(|| -> Result<CaseOutcome, String> {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut traces = cap.traces.clone();
+            let mut config = base_config.clone();
+            trace::mutate_timing(&mut traces, &mut config, &mut rng);
+            if traces == cap.traces && config == base_config {
+                return Ok(CaseOutcome::Unchanged);
+            }
+            let cta_of = |wi: usize| wi / warps_per_cta;
+            let staged =
+                simulate_timing_with_engine(&traces, &cta_of, &config, TimingEngine::Staged);
+            let reference =
+                simulate_timing_with_engine(&traces, &cta_of, &config, TimingEngine::Reference);
+            match (staged, reference) {
+                (Ok(s), Ok(r)) => {
+                    if s == r {
+                        Ok(CaseOutcome::Identical)
+                    } else {
+                        Err(format!(
+                            "engines accepted the mutant with different results: \
+                             staged {s:?} vs reference {r:?}"
+                        ))
+                    }
+                }
+                (Err(a), Err(b)) => {
+                    if a != b {
+                        Err(format!(
+                            "engines rejected the mutant with different errors: \
+                             staged `{a}` vs reference `{b}`"
+                        ))
+                    } else if matches!(a, TimingError::Config(_)) {
+                        Ok(CaseOutcome::Rejected)
+                    } else {
+                        Ok(CaseOutcome::Structured)
+                    }
+                }
+                (Ok(s), Err(e)) => Err(format!(
+                    "reference-only failure on a mutant the staged engine \
+                     accepted ({s:?}): {e}"
+                )),
+                (Err(e), Ok(r)) => Err(format!(
+                    "staged-only failure on a mutant the reference engine \
+                     accepted ({r:?}): {e}"
+                )),
+            }
+        }))
+    });
+    fold_cases(&seeds, outcomes, "timing")
 }

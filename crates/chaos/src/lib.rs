@@ -56,6 +56,15 @@
 //! read the analysis proved final — and hint-guided allocation must be
 //! semantics-preserving under the differential contract.
 //!
+//! An eighth layer ([`harness::run_timing_layer`]) corrupts *captured
+//! timing traces* and their scheduler configs ([`trace`]) — reordered
+//! ops, perturbed latency classes, scrambled dependences, truncated warp
+//! streams, unbalanced barriers, degenerate configs — and replays every
+//! mutant through both timing engines (the staged combinator engine and
+//! the frozen reference oracle): surviving traces must agree exactly on
+//! the `TimingResult`, malformed ones must produce field-for-field
+//! identical structured errors, deadlock snapshots included.
+//!
 //! Every case derives its RNG seed from a base seed via SplitMix64, so a
 //! failure report pinpoints one replayable case. Set `RFH_TESTKIT_SEED`
 //! to override the base seed and `RFH_CHAOS_CASES` to scale the case
@@ -66,9 +75,11 @@ pub mod byte;
 pub mod harness;
 pub mod ir;
 pub mod place;
+pub mod trace;
 pub mod wire;
 
 pub use harness::{
     cases_from_env, run_absint_layer, run_byte_layer, run_exec_differential_layer, run_ir_layer,
-    run_lint_layer, run_place_layer, run_protocol_layer, seed_from_env, ChaosReport,
+    run_lint_layer, run_place_layer, run_protocol_layer, run_timing_layer, seed_from_env,
+    ChaosReport,
 };

@@ -252,6 +252,48 @@ fn absint_layer_soundness_holds_on_a_divergent_kernel() {
 }
 
 #[test]
+fn timing_layer_trichotomy_holds() {
+    // The timing layer: seeded trace and config mutants replayed through
+    // both timing engines. Surviving mutants must agree exactly on the
+    // result; malformed ones (unbalanced barriers, starved budgets,
+    // degenerate configs) must draw field-for-field identical structured
+    // errors, deadlock snapshots included.
+    let cases = cases_from_env(1000);
+    let report =
+        rfh_chaos::run_timing_layer(&workload("vectoradd"), cases, seed_from_env(0x7131_000C))
+            .expect("timing engines diverged on a mutant trace");
+    assert_eq!(
+        report.cases, cases,
+        "all cases classified — zero panics, zero hangs ({report})"
+    );
+    assert!(
+        report.identical > 0,
+        "benign mutants should replay identically on both engines: {report}"
+    );
+    assert!(
+        report.structured > 0,
+        "barrier and budget damage should draw identical runtime errors: {report}"
+    );
+    assert!(
+        report.rejected > 0,
+        "degenerate configs should be rejected up front by validation: {report}"
+    );
+}
+
+#[test]
+fn timing_layer_holds_on_a_barrier_kernel() {
+    // The barrier-using workload: inserted/removed barriers land in
+    // streams that already synchronize, so the mutants probe partial
+    // arrival states rather than only all-or-nothing deadlocks.
+    let cases = cases_from_env(1000).min(500);
+    let report =
+        rfh_chaos::run_timing_layer(&workload("reduction"), cases, seed_from_env(0x7131_000D))
+            .expect("timing engines diverged on a barrier-kernel mutant");
+    assert_eq!(report.cases, cases, "{report}");
+    assert!(report.identical + report.structured > 0, "{report}");
+}
+
+#[test]
 fn chaos_runs_are_deterministic_per_seed() {
     let w = workload("vectoradd");
     let a = run_byte_layer(&w, &cfg(), 50, 7).expect("run a");

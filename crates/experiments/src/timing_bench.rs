@@ -1,0 +1,338 @@
+//! Timing-model throughput: traces per second of the staged
+//! stage-combinator engine against the frozen reference engine, plus the
+//! multi-SM scaling curve.
+//!
+//! Every workload's baseline instruction trace is captured once; the
+//! benchmark then replays the whole trace suite through the cycle-level
+//! scheduler model. Two measurements:
+//!
+//! * **engines** — single-SM replays under the paper's two-level(8)
+//!   configuration, staged vs reference, reported as warp traces per
+//!   second (a trace = one warp's dynamic instruction stream);
+//! * **scaling** — the same suite distributed across 1/2/4/8 SM contexts
+//!   on the staged engine, SMs fanned out over `rfh_testkit::pool`, so
+//!   the curve shows how simulation throughput scales with the worker
+//!   pool as the modeled chip grows.
+//!
+//! One untimed warm-up pass precedes the timed repetitions. Timings are
+//! wall-clock and machine-dependent, so this experiment is *not* part of
+//! `repro all` (whose stdout is diffed byte-for-byte); it has its own
+//! `repro timing-bench` arm and JSON schema (`rfh-timing-bench-v1`),
+//! with history committed as `BENCH_timing.json`.
+
+use std::time::Instant;
+
+use rfh_sim::exec::{execute_with, ExecMode};
+use rfh_sim::machine::MachineConfig;
+use rfh_sim::timing::{
+    simulate_multi_sm, simulate_timing_with_engine, Engine, MultiSmConfig, TimingConfig,
+    TraceCapture, TraceOp,
+};
+use rfh_workloads::Workload;
+
+/// One captured workload trace, ready to replay.
+struct Case {
+    name: String,
+    traces: Vec<Vec<TraceOp>>,
+    warps_per_cta: usize,
+}
+
+/// One timing engine's aggregate single-SM measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineBench {
+    /// Which engine ran.
+    pub engine: Engine,
+    /// Warp traces replayed across all timed repetitions.
+    pub traces: u64,
+    /// Warp instructions issued across all timed repetitions.
+    pub instructions: u64,
+    /// Wall-clock seconds for all timed repetitions.
+    pub seconds: f64,
+}
+
+impl EngineBench {
+    /// Warp traces replayed per second.
+    pub fn traces_per_sec(&self) -> f64 {
+        self.traces as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// One point of the multi-SM scaling curve (staged engine).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// SM contexts instantiated.
+    pub sms: usize,
+    /// Warp traces replayed across all timed repetitions.
+    pub traces: u64,
+    /// Sum of chip cycles over the suite (deterministic; pins that the
+    /// modeled result is job-count independent while the wall time is
+    /// not).
+    pub chip_cycles: u64,
+    /// Wall-clock seconds for all timed repetitions.
+    pub seconds: f64,
+}
+
+impl ScalePoint {
+    /// Warp traces replayed per second.
+    pub fn traces_per_sec(&self) -> f64 {
+        self.traces as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// The benchmark result.
+#[derive(Debug, Clone)]
+pub struct TimingBench {
+    /// Timed repetitions per measurement (after one warm-up pass).
+    pub reps: usize,
+    /// Number of workloads in the suite.
+    pub workloads: usize,
+    /// Single-SM per-engine measurements, in [`Engine::Staged`],
+    /// [`Engine::Reference`] order.
+    pub engines: Vec<EngineBench>,
+    /// The multi-SM scaling curve on the staged engine.
+    pub scaling: Vec<ScalePoint>,
+}
+
+impl TimingBench {
+    /// Staged throughput over reference throughput (single-SM).
+    pub fn speedup(&self) -> f64 {
+        let tps = |e: Engine| {
+            self.engines
+                .iter()
+                .find(|b| b.engine == e)
+                .map(EngineBench::traces_per_sec)
+                .unwrap_or(0.0)
+        };
+        tps(Engine::Staged) / tps(Engine::Reference).max(1e-12)
+    }
+}
+
+/// Captures every workload's baseline trace once.
+fn capture(workloads: &[Workload], machine: &MachineConfig) -> Vec<Case> {
+    workloads
+        .iter()
+        .map(|w| {
+            let mut cap = TraceCapture::new(machine.clone(), w.launch.threads_per_cta);
+            let mut mem = w.memory.clone();
+            execute_with(
+                &w.kernel,
+                &w.launch,
+                &mut mem,
+                ExecMode::Baseline,
+                machine,
+                &mut [&mut cap],
+            )
+            .unwrap_or_else(|e| panic!("{}: trace capture failed: {e}", w.name));
+            let warps_per_cta = cap.warps_per_cta();
+            Case {
+                name: w.name.clone(),
+                traces: cap.traces,
+                warps_per_cta,
+            }
+        })
+        .collect()
+}
+
+/// One single-SM pass over the suite: (traces, instructions).
+fn engine_pass(cases: &[Case], config: &TimingConfig, engine: Engine) -> (u64, u64) {
+    let mut traces = 0;
+    let mut instructions = 0;
+    for c in cases {
+        let wpc = c.warps_per_cta;
+        let r = simulate_timing_with_engine(&c.traces, &|w| w / wpc, config, engine)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", c.name, engine.name()));
+        traces += c.traces.len() as u64;
+        instructions += r.instructions;
+    }
+    (traces, instructions)
+}
+
+/// One multi-SM pass over the suite: (traces, chip cycles).
+fn scale_pass(cases: &[Case], config: &TimingConfig, sms: usize) -> (u64, u64) {
+    let mut traces = 0;
+    let mut chip_cycles = 0;
+    for c in cases {
+        let wpc = c.warps_per_cta;
+        let cfg = MultiSmConfig::new(sms, config.clone());
+        let r = simulate_multi_sm(&c.traces, &|w| w / wpc, &cfg)
+            .unwrap_or_else(|e| panic!("{} at {sms} SM(s): {e}", c.name));
+        traces += c.traces.len() as u64;
+        chip_cycles += r.cycles();
+    }
+    (traces, chip_cycles)
+}
+
+/// Runs the benchmark: capture once, then for each measurement one
+/// warm-up pass and `reps` timed passes.
+///
+/// # Panics
+///
+/// Panics if any workload fails to capture or simulate.
+pub fn run(workloads: &[Workload], reps: usize) -> TimingBench {
+    let machine = MachineConfig::paper();
+    let cases = capture(workloads, &machine);
+    let config = TimingConfig::two_level(8);
+
+    let engines = [Engine::Staged, Engine::Reference]
+        .into_iter()
+        .map(|engine| {
+            engine_pass(&cases, &config, engine);
+            let start = Instant::now();
+            let (mut traces, mut instructions) = (0, 0);
+            for _ in 0..reps {
+                let (t, i) = engine_pass(&cases, &config, engine);
+                traces += t;
+                instructions += i;
+            }
+            EngineBench {
+                engine,
+                traces,
+                instructions,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+
+    let scaling = [1, 2, 4, 8]
+        .into_iter()
+        .map(|sms| {
+            scale_pass(&cases, &config, sms);
+            let start = Instant::now();
+            let (mut traces, mut chip_cycles) = (0, 0);
+            for _ in 0..reps {
+                let (t, c) = scale_pass(&cases, &config, sms);
+                traces += t;
+                chip_cycles = c; // identical every rep; keep one
+            }
+            ScalePoint {
+                sms,
+                traces,
+                chip_cycles,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+
+    TimingBench {
+        reps,
+        workloads: workloads.len(),
+        engines,
+        scaling,
+    }
+}
+
+/// Renders the result as small human-readable tables plus the speedup.
+pub fn print(b: &TimingBench) -> String {
+    let mut out = format!(
+        "# timing-model throughput ({} workloads, {} reps, two-level(8))\n\
+         engine\ttraces\tinstructions\tseconds\tKtraces/s\n",
+        b.workloads, b.reps
+    );
+    for e in &b.engines {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{:.3}\t{:.2}\n",
+            e.engine.name(),
+            e.traces,
+            e.instructions,
+            e.seconds,
+            e.traces_per_sec() / 1e3
+        ));
+    }
+    out.push_str(&format!(
+        "speedup (staged/reference): {:.2}x\n\n\
+         # multi-SM scaling (staged engine, RFH_JOBS pool)\n\
+         sms\ttraces\tchip cycles\tseconds\tKtraces/s\n",
+        b.speedup()
+    ));
+    for s in &b.scaling {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{:.3}\t{:.2}\n",
+            s.sms,
+            s.traces,
+            s.chip_cycles,
+            s.seconds,
+            s.traces_per_sec() / 1e3
+        ));
+    }
+    out
+}
+
+/// Serializes the result in the `rfh-timing-bench-v1` schema.
+pub fn json(b: &TimingBench) -> String {
+    let engines: Vec<String> = b
+        .engines
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"engine\": \"{}\", \"traces\": {}, \"instructions\": {}, \
+                 \"seconds\": {:.3}, \"traces_per_second\": {:.0}}}",
+                e.engine.name(),
+                e.traces,
+                e.instructions,
+                e.seconds,
+                e.traces_per_sec()
+            )
+        })
+        .collect();
+    let scaling: Vec<String> = b
+        .scaling
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"sms\": {}, \"traces\": {}, \"chip_cycles\": {}, \
+                 \"seconds\": {:.3}, \"traces_per_second\": {:.0}}}",
+                s.sms,
+                s.traces,
+                s.chip_cycles,
+                s.seconds,
+                s.traces_per_sec()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"rfh-timing-bench-v1\",\n  \"workloads\": {},\n  \
+         \"reps\": {},\n  \"jobs\": {},\n  \"speedup\": {:.3},\n  \
+         \"engines\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
+        b.workloads,
+        b.reps,
+        rfh_testkit::pool::jobs(),
+        b.speedup(),
+        engines.join(",\n"),
+        scaling.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_serializes() {
+        // One reduced-suite rep: checks plumbing, not performance.
+        let workloads: Vec<Workload> = ["vectoradd", "reduction"]
+            .iter()
+            .map(|n| rfh_workloads::by_name(n).expect("known workload"))
+            .collect();
+        let b = run(&workloads, 1);
+        assert_eq!(b.engines.len(), 2);
+        assert_eq!(
+            b.engines[0].instructions, b.engines[1].instructions,
+            "both engines must issue the identical instruction stream"
+        );
+        assert!(b.engines[0].traces > 0);
+        assert_eq!(b.scaling.len(), 4);
+        assert_eq!(b.scaling[0].sms, 1);
+        assert!(
+            b.scaling.iter().all(|s| s.chip_cycles > 0),
+            "every SM count must simulate the suite"
+        );
+        let text = print(&b);
+        assert!(text.contains("speedup"));
+        assert!(text.contains("multi-SM scaling"));
+        let j = json(&b);
+        assert!(j.contains("\"schema\": \"rfh-timing-bench-v1\""));
+        assert!(j.contains("\"engine\": \"staged\""));
+        assert!(j.contains("\"engine\": \"reference\""));
+        assert!(j.contains("\"sms\": 8"));
+    }
+}

@@ -25,7 +25,11 @@
 //!   flush on deschedule), in two- and three-level variants;
 //! * [`usage`] — dynamic register value usage statistics (Figure 2);
 //! * [`timing`] — a cycle-level model of the two-level warp scheduler
-//!   verifying the no-performance-loss claim.
+//!   verifying the no-performance-loss claim, recomposed from
+//!   latency-insensitive stage combinators ([`timing::stage`]) with the
+//!   original engine frozen as a differential oracle
+//!   ([`timing::reference`]), and scaled to N SMs sharing a memory model
+//!   ([`timing::multi_sm`]).
 //!
 //! ## Example
 //!
@@ -69,7 +73,10 @@ pub use profile::EnergyProfiler;
 pub use rfc::{HwCounter, RfcConfig};
 pub use sink::{FanoutSink, TraceSink};
 pub use timing::{
-    simulate_timing, SchedPolicy, TimingConfig, TimingError, TimingResult, DEFAULT_MAX_CYCLES,
+    simulate_multi_sm, simulate_timing, simulate_timing_with_engine, BankPolicy, ConfigError,
+    DeadlockSnapshot, Engine as TimingEngine, LatencyClass, MemoryModel, MultiSmConfig,
+    MultiSmResult, SchedPolicy, SmResult, TimingConfig, TimingError, TimingResult, WarpSnapshot,
+    DEFAULT_MAX_CYCLES,
 };
 pub use trace::TraceExporter;
 pub use usage::UsageStats;

@@ -1,0 +1,424 @@
+//! Multi-SM scaling of the timing model.
+//!
+//! One [`super::simulate_timing`] call models a single SM. This module
+//! instantiates N SM contexts: CTAs distribute round-robin across SMs
+//! (CTA `c` runs on SM `c % sms` as local CTA `c / sms`, preserving warp
+//! order within each SM), each SM runs the selected timing engine
+//! independently, and all SMs share a [`MemoryModel`] that uplifts
+//! long-latency (DRAM/TEX) operations as more SMs contend for the
+//! memory system.
+//!
+//! SMs simulate in parallel over the `rfh_testkit::pool` worker pool
+//! (the `RFH_JOBS` knob) with results folded in SM order, so a multi-SM
+//! run is byte-identical at any job count — pinned by
+//! `tests/multi_sm.rs`. With `sms = 1` the distribution and the
+//! contention uplift are both identities, so the result equals the
+//! single-SM path exactly.
+
+use rfh_testkit::pool;
+
+use super::{
+    simulate_timing_with_engine, ConfigError, Engine, TimingConfig, TimingError, TimingResult,
+    TraceOp,
+};
+
+/// The memory system shared by all SMs.
+///
+/// Contention is modeled as a fixed-point uplift on long-latency
+/// operations: with `s` SMs, a long op's latency becomes
+/// `base + base * num * (s - 1) / den` (integer arithmetic, so results
+/// are exact and platform-independent). One SM sees no uplift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Contention uplift numerator.
+    pub contention_num: u64,
+    /// Contention uplift denominator (must be nonzero; constructors
+    /// guarantee it).
+    pub contention_den: u64,
+}
+
+impl MemoryModel {
+    /// The default contention model: +12.5% long-op latency per
+    /// additional SM (so 8 SMs nearly double DRAM latency — in the
+    /// ballpark of the paper's single-SM 400-cycle DRAM assumption
+    /// scaling under full-chip load).
+    pub fn paper() -> Self {
+        MemoryModel {
+            contention_num: 1,
+            contention_den: 8,
+        }
+    }
+
+    /// An uncontended memory system: long-op latency independent of SM
+    /// count (useful to isolate pure scheduling effects).
+    pub fn uncontended() -> Self {
+        MemoryModel {
+            contention_num: 0,
+            contention_den: 1,
+        }
+    }
+
+    /// The effective latency of a long operation with `sms` SMs sharing
+    /// the memory system.
+    pub fn long_latency(&self, base: u64, sms: usize) -> u64 {
+        let extra_sms = sms.saturating_sub(1) as u64;
+        base + base * self.contention_num * extra_sms / self.contention_den.max(1)
+    }
+}
+
+/// Configuration of a multi-SM timing simulation.
+#[derive(Debug, Clone)]
+pub struct MultiSmConfig {
+    /// Number of SM contexts.
+    pub sms: usize,
+    /// The per-SM scheduler configuration.
+    pub per_sm: TimingConfig,
+    /// The shared memory system.
+    pub memory: MemoryModel,
+    /// The timing engine each SM runs.
+    pub engine: Engine,
+}
+
+impl MultiSmConfig {
+    /// `sms` SMs, each running the given scheduler config on the default
+    /// engine under the default contention model.
+    pub fn new(sms: usize, per_sm: TimingConfig) -> Self {
+        MultiSmConfig {
+            sms,
+            per_sm,
+            memory: MemoryModel::paper(),
+            engine: Engine::default(),
+        }
+    }
+
+    /// Selects a memory model.
+    pub fn with_memory(mut self, memory: MemoryModel) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Selects a timing engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// One SM's share of a multi-SM simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmResult {
+    /// SM index.
+    pub sm: usize,
+    /// CTAs distributed to this SM.
+    pub ctas: usize,
+    /// Warps distributed to this SM.
+    pub warps: usize,
+    /// The SM's timing result.
+    pub result: TimingResult,
+}
+
+/// Result of a multi-SM simulation: per-SM results in SM order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSmResult {
+    /// One entry per SM, in SM order (possibly with zero warps when
+    /// there are fewer CTAs than SMs).
+    pub per_sm: Vec<SmResult>,
+}
+
+impl MultiSmResult {
+    /// Chip cycles: the slowest SM bounds the launch.
+    pub fn cycles(&self) -> u64 {
+        self.per_sm
+            .iter()
+            .map(|s| s.result.cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total instructions issued across SMs.
+    pub fn instructions(&self) -> u64 {
+        self.per_sm.iter().map(|s| s.result.instructions).sum()
+    }
+
+    /// Total deschedule events across SMs.
+    pub fn deschedules(&self) -> u64 {
+        self.per_sm.iter().map(|s| s.result.deschedules).sum()
+    }
+
+    /// Chip-level instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.instructions() as f64 / self.cycles().max(1) as f64
+    }
+}
+
+/// One SM's distributed slice of the launch.
+struct SmWork {
+    sm: usize,
+    ctas: usize,
+    traces: Vec<Vec<TraceOp>>,
+    /// Local CTA index per local warp.
+    warp_cta: Vec<usize>,
+}
+
+/// Distributes CTAs round-robin across `sms` SM contexts and simulates
+/// each on the configured engine, SMs in parallel over the `RFH_JOBS`
+/// pool.
+///
+/// # Errors
+///
+/// [`TimingError::Config`] for zero SMs or an invalid per-SM
+/// configuration; otherwise the first per-SM error in SM order
+/// (deadlock, cycle budget). See [`super::simulate_timing`].
+pub fn simulate_multi_sm(
+    traces: &[Vec<TraceOp>],
+    cta_of: &dyn Fn(usize) -> usize,
+    config: &MultiSmConfig,
+) -> Result<MultiSmResult, TimingError> {
+    simulate_multi_sm_with_jobs(pool::jobs(), traces, cta_of, config)
+}
+
+/// [`simulate_multi_sm`] with an explicit worker count instead of the
+/// `RFH_JOBS` knob (determinism tests pin 1 vs N without touching the
+/// environment).
+///
+/// # Errors
+///
+/// As [`simulate_multi_sm`].
+pub fn simulate_multi_sm_with_jobs(
+    jobs: usize,
+    traces: &[Vec<TraceOp>],
+    cta_of: &dyn Fn(usize) -> usize,
+    config: &MultiSmConfig,
+) -> Result<MultiSmResult, TimingError> {
+    if config.sms == 0 {
+        return Err(TimingError::Config(ConfigError::ZeroSms));
+    }
+    // Validate the per-SM config once up front, before distributing work.
+    config
+        .per_sm
+        .validate(config.engine)
+        .map_err(TimingError::Config)?;
+
+    // Distribute: CTA c -> SM (c % sms) as local CTA (c / sms); warp
+    // order within each SM follows global warp order.
+    let mut work: Vec<SmWork> = (0..config.sms)
+        .map(|sm| SmWork {
+            sm,
+            ctas: 0,
+            traces: Vec::new(),
+            warp_cta: Vec::new(),
+        })
+        .collect();
+    let mut ctas_seen = vec![false; (0..traces.len()).map(cta_of).max().map_or(0, |c| c + 1)];
+    for (wi, trace) in traces.iter().enumerate() {
+        let cta = cta_of(wi);
+        let sm = cta % config.sms;
+        let slot = &mut work[sm];
+        if !ctas_seen[cta] {
+            ctas_seen[cta] = true;
+            slot.ctas += 1;
+        }
+        slot.warp_cta.push(cta / config.sms);
+        // The shared memory system: long ops slow down with SM count.
+        slot.traces.push(
+            trace
+                .iter()
+                .map(|op| {
+                    if op.long {
+                        TraceOp {
+                            latency: config.memory.long_latency(op.latency, config.sms),
+                            ..*op
+                        }
+                    } else {
+                        *op
+                    }
+                })
+                .collect(),
+        );
+    }
+
+    // Each SM simulates independently; fold in SM order so the result is
+    // identical at any job count.
+    let results = pool::par_map_with_jobs(jobs, &work, |sm_work| {
+        simulate_timing_with_engine(
+            &sm_work.traces,
+            &|w| sm_work.warp_cta[w],
+            &config.per_sm,
+            config.engine,
+        )
+        .map(|result| SmResult {
+            sm: sm_work.sm,
+            ctas: sm_work.ctas,
+            warps: sm_work.traces.len(),
+            result,
+        })
+    });
+    let mut per_sm = Vec::with_capacity(results.len());
+    for r in results {
+        per_sm.push(r?);
+    }
+    Ok(MultiSmResult { per_sm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::simulate_timing;
+
+    fn alu_op(dst: u16, src: u16) -> TraceOp {
+        TraceOp {
+            latency: 8,
+            unit: rfh_isa::Unit::Alu,
+            long: false,
+            barrier: false,
+            dsts: [Some(dst), None],
+            srcs: [Some(src), None, None],
+        }
+    }
+
+    fn mem_op(dst: u16, src: u16) -> TraceOp {
+        TraceOp {
+            latency: 400,
+            unit: rfh_isa::Unit::Mem,
+            long: true,
+            barrier: false,
+            dsts: [Some(dst), None],
+            srcs: [Some(src), None, None],
+        }
+    }
+
+    /// 4 CTAs x 2 warps mixing ALU chains with long loads.
+    fn workload() -> (Vec<Vec<TraceOp>>, impl Fn(usize) -> usize) {
+        let traces: Vec<Vec<TraceOp>> = (0..8)
+            .map(|wi| {
+                let mut t = Vec::new();
+                for i in 0..12u16 {
+                    t.push(alu_op(i % 4, (i + 1) % 4));
+                    if i % 5 == u16::try_from(wi).unwrap_or(0) % 5 {
+                        t.push(mem_op(4, i % 4));
+                        t.push(alu_op(5, 4));
+                    }
+                }
+                t
+            })
+            .collect();
+        (traces, |w: usize| w / 2)
+    }
+
+    #[test]
+    fn contention_uplift_is_identity_at_one_sm() {
+        let m = MemoryModel::paper();
+        assert_eq!(m.long_latency(400, 1), 400);
+        assert_eq!(m.long_latency(400, 2), 450);
+        assert_eq!(m.long_latency(400, 8), 750);
+        assert_eq!(MemoryModel::uncontended().long_latency(400, 8), 400);
+    }
+
+    #[test]
+    fn one_sm_matches_the_single_sm_path_exactly() {
+        let (traces, cta_of) = workload();
+        let cfg = TimingConfig::two_level(4);
+        let single = simulate_timing(&traces, &cta_of, &cfg).unwrap();
+        let multi =
+            simulate_multi_sm(&traces, &cta_of, &MultiSmConfig::new(1, cfg.clone())).unwrap();
+        assert_eq!(multi.per_sm.len(), 1);
+        assert_eq!(multi.per_sm[0].result, single);
+        assert_eq!(multi.cycles(), single.cycles);
+        assert_eq!(multi.instructions(), single.instructions);
+    }
+
+    #[test]
+    fn results_are_identical_at_any_job_count() {
+        let (traces, cta_of) = workload();
+        let cfg = MultiSmConfig::new(4, TimingConfig::two_level(4));
+        let serial = simulate_multi_sm_with_jobs(1, &traces, &cta_of, &cfg).unwrap();
+        let parallel = simulate_multi_sm_with_jobs(8, &traces, &cta_of, &cfg).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn both_engines_agree_on_multi_sm_runs() {
+        let (traces, cta_of) = workload();
+        for sms in [1, 2, 3, 4] {
+            let base = MultiSmConfig::new(sms, TimingConfig::two_level(4));
+            let staged = simulate_multi_sm(&traces, &cta_of, &base.clone()).unwrap();
+            let reference =
+                simulate_multi_sm(&traces, &cta_of, &base.with_engine(Engine::Reference)).unwrap();
+            assert_eq!(staged, reference, "engines diverge at sms={sms}");
+        }
+    }
+
+    #[test]
+    fn instructions_are_conserved_across_sm_counts() {
+        let (traces, cta_of) = workload();
+        let total: u64 = traces.iter().map(|t| t.len() as u64).sum();
+        for sms in [1, 2, 3, 4, 8] {
+            let r = simulate_multi_sm(
+                &traces,
+                &cta_of,
+                &MultiSmConfig::new(sms, TimingConfig::two_level(4)),
+            )
+            .unwrap();
+            assert_eq!(r.instructions(), total, "sms={sms}");
+            assert_eq!(r.per_sm.len(), sms);
+            assert_eq!(r.per_sm.iter().map(|s| s.warps).sum::<usize>(), 8);
+            assert_eq!(r.per_sm.iter().map(|s| s.ctas).sum::<usize>(), 4);
+        }
+    }
+
+    #[test]
+    fn more_sms_than_ctas_leaves_trailing_sms_idle() {
+        let (traces, cta_of) = workload();
+        let r = simulate_multi_sm(
+            &traces,
+            &cta_of,
+            &MultiSmConfig::new(8, TimingConfig::two_level(4)),
+        )
+        .unwrap();
+        assert_eq!(r.per_sm.len(), 8);
+        for s in &r.per_sm[4..] {
+            assert_eq!(s.warps, 0);
+            assert_eq!(s.result.cycles, 0);
+        }
+    }
+
+    #[test]
+    fn contention_slows_long_latency_workloads_as_sms_grow() {
+        // Per-SM work shrinks as CTAs spread out, but the *uplifted*
+        // DRAM latency must show up in the slowest SM once the
+        // distribution stops shrinking (4 CTAs across 4 SMs: one CTA
+        // each, latency up 37.5% vs 1 SM's quarter share).
+        let (traces, cta_of) = workload();
+        let contended = simulate_multi_sm(
+            &traces,
+            &cta_of,
+            &MultiSmConfig::new(4, TimingConfig::two_level(4)),
+        )
+        .unwrap();
+        let ideal = simulate_multi_sm(
+            &traces,
+            &cta_of,
+            &MultiSmConfig::new(4, TimingConfig::two_level(4))
+                .with_memory(MemoryModel::uncontended()),
+        )
+        .unwrap();
+        assert!(
+            contended.cycles() > ideal.cycles(),
+            "contended {} vs uncontended {}",
+            contended.cycles(),
+            ideal.cycles()
+        );
+    }
+
+    #[test]
+    fn zero_sms_is_a_config_error() {
+        let (traces, cta_of) = workload();
+        let err = simulate_multi_sm(
+            &traces,
+            &cta_of,
+            &MultiSmConfig::new(0, TimingConfig::two_level(4)),
+        )
+        .unwrap_err();
+        assert_eq!(err, TimingError::Config(ConfigError::ZeroSms));
+    }
+}

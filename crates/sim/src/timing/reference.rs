@@ -1,0 +1,284 @@
+//! The frozen pre-refactor timing engine — the differential oracle.
+//!
+//! This is the original hand-woven scheduler loop from `timing.rs`,
+//! kept verbatim (modulo the shared-type split and the deadlock
+//! snapshot) as the oracle that [`super::staged`] is conformance-tested
+//! against. Do not "improve" this file: its value is that it does not
+//! change. Fix bugs in the staged engine, or — if the reference itself
+//! is wrong — change both in one commit and re-run the differential
+//! suite.
+
+use std::collections::HashSet;
+
+use rfh_isa::Unit;
+
+use super::{
+    pending_latency, DeadlockSnapshot, SchedPolicy, TimingConfig, TimingError, TimingResult,
+    TraceOp, WarpSnapshot,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Active,
+    Pending { resume: u64 },
+    AtBarrier,
+    Done,
+}
+
+struct WarpSim {
+    next: usize,
+    status: Status,
+    reg_ready: Vec<u64>,
+    long_regs: HashSet<u16>,
+    /// Sticky: the warp was descheduled at least once (for the deadlock
+    /// snapshot only; no scheduling decision reads this).
+    ever_descheduled: bool,
+}
+
+/// Replays captured traces through the two-level scheduler.
+///
+/// Semantics are documented on [`super::simulate_timing`]; this engine is
+/// selected with [`super::Engine::Reference`].
+pub(super) fn run(
+    traces: &[Vec<TraceOp>],
+    cta_of: &dyn Fn(usize) -> usize,
+    config: &TimingConfig,
+) -> Result<TimingResult, TimingError> {
+    let n = traces.len();
+    let max_reg = traces
+        .iter()
+        .flatten()
+        .flat_map(|op| op.dsts.iter().chain(op.srcs.iter()).flatten())
+        .copied()
+        .max()
+        .unwrap_or(0) as usize
+        + 1;
+    let mut warps: Vec<WarpSim> = (0..n)
+        .map(|wi| WarpSim {
+            next: 0,
+            // A warp with an empty trace has nothing to retire; starting it
+            // Done keeps the issue loop free of empty-slice indexing.
+            status: if traces[wi].is_empty() {
+                Status::Done
+            } else {
+                Status::Pending { resume: 0 }
+            },
+            reg_ready: vec![0; max_reg],
+            long_regs: HashSet::new(),
+            ever_descheduled: false,
+        })
+        .collect();
+    let slots = if config.two_level {
+        config.active_warps.min(n)
+    } else {
+        n
+    };
+    // Barrier bookkeeping: arrived counts per CTA.
+    let n_ctas = (0..n).map(cta_of).max().map(|c| c + 1).unwrap_or(0);
+    let mut barrier_arrived = vec![0usize; n_ctas];
+
+    let mut now: u64 = 0;
+    let mut instructions: u64 = 0;
+    let mut deschedules: u64 = 0;
+    let mut rr: usize = 0;
+
+    // Activate initial warps.
+    let mut active: Vec<usize> = Vec::new();
+    let activate = |warps: &mut Vec<WarpSim>, active: &mut Vec<usize>, now: u64| {
+        while active.len() < slots {
+            let candidate = warps
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| matches!(w.status, Status::Pending { resume } if resume <= now))
+                .map(|(i, _)| i)
+                .next();
+            match candidate {
+                Some(i) => {
+                    warps[i].status = Status::Active;
+                    active.push(i);
+                }
+                None => break,
+            }
+        }
+    };
+    activate(&mut warps, &mut active, now);
+
+    let mut sfu_free: u64 = 0;
+    let mut mem_free: u64 = 0;
+    let mut tex_free: u64 = 0;
+
+    loop {
+        if warps.iter().all(|w| w.status == Status::Done) {
+            break;
+        }
+        if now > config.max_cycles {
+            return Err(TimingError::CycleBudget {
+                limit: config.max_cycles,
+            });
+        }
+        let mut issued = false;
+        let mut release_cta: Option<usize> = None;
+        let mut to_deschedule: Option<(usize, u64)> = None;
+
+        for k in 0..active.len() {
+            let wi = active[(rr + k) % active.len()];
+            let trace = &traces[wi];
+            let w = &warps[wi];
+            debug_assert_eq!(w.status, Status::Active);
+            let op = &trace[w.next];
+
+            // Operand readiness.
+            let ready_at = op
+                .srcs
+                .iter()
+                .flatten()
+                .map(|r| w.reg_ready[*r as usize])
+                .max()
+                .unwrap_or(0);
+            if ready_at > now {
+                let blocked_on_long = op
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .any(|r| w.reg_ready[*r as usize] > now && w.long_regs.contains(r));
+                if config.two_level && blocked_on_long {
+                    to_deschedule = Some((wi, ready_at));
+                    break;
+                }
+                continue; // short stall: wait in place
+            }
+            // Unit availability.
+            let unit_free = match op.unit {
+                Unit::Sfu => sfu_free,
+                Unit::Mem => mem_free,
+                Unit::Tex => tex_free,
+                _ => 0,
+            };
+            if unit_free > now {
+                continue;
+            }
+
+            // ---- issue ----
+            let op = *op;
+            let w = &mut warps[wi];
+            for r in op.srcs.iter().flatten() {
+                if w.reg_ready[*r as usize] <= now {
+                    w.long_regs.remove(r);
+                }
+            }
+            for d in op.dsts.iter().flatten() {
+                w.reg_ready[*d as usize] = now + op.latency;
+                if op.long {
+                    w.long_regs.insert(*d);
+                } else {
+                    w.long_regs.remove(d);
+                }
+            }
+            match op.unit {
+                Unit::Sfu => sfu_free = now + config.machine.shared_issue_cycles,
+                Unit::Mem => mem_free = now + config.machine.shared_issue_cycles,
+                Unit::Tex => tex_free = now + config.machine.shared_issue_cycles,
+                _ => {}
+            }
+            w.next += 1;
+            instructions += 1;
+            issued = true;
+            rr = match config.policy {
+                SchedPolicy::RoundRobin => (rr + k + 1) % active.len().max(1),
+                SchedPolicy::Greedy => 0,
+            };
+
+            if w.next == trace.len() {
+                w.status = Status::Done;
+                active.retain(|&a| a != wi);
+            } else if op.barrier {
+                let cta = cta_of(wi);
+                w.status = Status::AtBarrier;
+                active.retain(|&a| a != wi);
+                barrier_arrived[cta] += 1;
+                let expected = (0..n)
+                    .filter(|&x| cta_of(x) == cta && warps[x].status != Status::Done)
+                    .count();
+                if barrier_arrived[cta] >= expected {
+                    release_cta = Some(cta);
+                }
+            }
+            break;
+        }
+
+        if let Some((wi, resume)) = to_deschedule {
+            deschedules += 1;
+            warps[wi].status = Status::Pending { resume };
+            warps[wi].ever_descheduled = true;
+            active.retain(|&a| a != wi);
+        }
+        if let Some(cta) = release_cta {
+            barrier_arrived[cta] = 0;
+            for (x, w) in warps.iter_mut().enumerate() {
+                if cta_of(x) == cta && w.status == Status::AtBarrier {
+                    w.status = Status::Pending { resume: now };
+                }
+            }
+        }
+        activate(&mut warps, &mut active, now);
+
+        if issued || to_deschedule.is_some() || release_cta.is_some() {
+            now += 1;
+            continue;
+        }
+        // Nothing happened: fast-forward to the next event.
+        let mut next_event = u64::MAX;
+        for wi in &active {
+            let w = &warps[*wi];
+            let op = &traces[*wi][w.next];
+            let ready = op
+                .srcs
+                .iter()
+                .flatten()
+                .map(|r| w.reg_ready[*r as usize])
+                .max()
+                .unwrap_or(0);
+            let unit = match op.unit {
+                Unit::Sfu => sfu_free,
+                Unit::Mem => mem_free,
+                Unit::Tex => tex_free,
+                _ => 0,
+            };
+            next_event = next_event.min(ready.max(unit).max(now + 1));
+        }
+        for w in &warps {
+            if let Status::Pending { resume } = w.status {
+                next_event = next_event.min(resume.max(now + 1));
+            }
+        }
+        if next_event == u64::MAX {
+            let snapshot = DeadlockSnapshot {
+                warps: warps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.status != Status::Done)
+                    .map(|(wi, w)| WarpSnapshot {
+                        warp: wi,
+                        cta: cta_of(wi),
+                        pc: w.next,
+                        at_barrier: w.status == Status::AtBarrier,
+                        descheduled: w.ever_descheduled,
+                        pending_latency: pending_latency(traces, wi, w.next, &w.reg_ready, now),
+                    })
+                    .collect(),
+            };
+            return Err(TimingError::Deadlock {
+                cycle: now,
+                snapshot,
+            });
+        }
+        now = next_event;
+        activate(&mut warps, &mut active, now);
+    }
+
+    Ok(TimingResult {
+        cycles: now,
+        instructions,
+        deschedules,
+    })
+}

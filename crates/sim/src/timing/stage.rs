@@ -1,0 +1,481 @@
+//! Latency-insensitive stage combinators for timing models.
+//!
+//! The vocabulary follows the shakeflow interface-combinator style: a
+//! stage exposes a *forward* path (`offer` a payload when the stage is
+//! `ready`) and a *backward* path (take completed payloads out), and the
+//! pair forms a valid/ready handshake. Composing a timing model from
+//! these parts keeps every queue, arbiter, and latency element an
+//! explicit, swappable component instead of ad-hoc counters woven
+//! through a scheduler loop:
+//!
+//! * [`Stage`] — the valid/ready handshake contract;
+//! * [`Fifo`] — bounded in-order queue (operand buffers);
+//! * [`Skid`] — one-entry decoupling buffer with registered output;
+//! * [`Pipe`] — fixed-latency, fixed-initiation-interval pipeline
+//!   (shared SFU/MEM/TEX datapaths);
+//! * [`RrMux`] — round-robin arbiter (warp issue selection, bank read
+//!   ports);
+//! * [`PriorityMux`] — fixed lowest-index-first arbiter (active-set
+//!   refill);
+//! * [`Credit`] — credit-based flow control (active-set occupancy).
+//!
+//! All state is plain data and all methods are deterministic, so engines
+//! built from these parts replay byte-identically across runs and across
+//! `RFH_JOBS` settings.
+
+use std::collections::VecDeque;
+
+/// The valid/ready handshake every combinator implements.
+///
+/// A producer calls [`Stage::ready`] and, if `true`, [`Stage::offer`]s a
+/// payload; `offer` on a stage that is not ready returns the payload back
+/// (backpressure) instead of panicking, so a mis-sequenced caller loses
+/// no data.
+pub trait Stage {
+    /// The payload carried through the stage.
+    type Item;
+
+    /// Whether the stage can accept a payload this cycle.
+    fn ready(&self, now: u64) -> bool;
+
+    /// Offers a payload at cycle `now`. Returns `None` when accepted, or
+    /// `Some(item)` (the payload handed back) when the stage is full.
+    fn offer(&mut self, now: u64, item: Self::Item) -> Option<Self::Item>;
+}
+
+/// A bounded in-order queue.
+///
+/// Payloads become takeable in insertion order; the queue applies
+/// backpressure when `len == capacity`. Capacity 0 is clamped to 1 so a
+/// `Fifo` is never unconditionally stuck.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// A queue holding up to `capacity` payloads (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Fifo {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Queued payloads.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Borrows the oldest payload without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Removes and returns the oldest payload.
+    pub fn take(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+}
+
+impl<T> Stage for Fifo<T> {
+    type Item = T;
+
+    fn ready(&self, _now: u64) -> bool {
+        self.items.len() < self.capacity
+    }
+
+    fn offer(&mut self, now: u64, item: T) -> Option<T> {
+        if self.ready(now) {
+            self.items.push_back(item);
+            None
+        } else {
+            Some(item)
+        }
+    }
+}
+
+/// A one-entry skid buffer: registered-output decoupling between two
+/// stages, so a downstream stall takes one cycle to propagate upstream
+/// instead of combinationally freezing the producer.
+#[derive(Debug, Clone, Default)]
+pub struct Skid<T> {
+    slot: Option<T>,
+}
+
+impl<T> Skid<T> {
+    /// An empty skid buffer.
+    pub fn new() -> Self {
+        Skid { slot: None }
+    }
+
+    /// Whether a payload is parked in the buffer.
+    pub fn is_occupied(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// Borrows the parked payload.
+    pub fn peek(&self) -> Option<&T> {
+        self.slot.as_ref()
+    }
+
+    /// Removes and returns the parked payload.
+    pub fn take(&mut self) -> Option<T> {
+        self.slot.take()
+    }
+}
+
+impl<T> Stage for Skid<T> {
+    type Item = T;
+
+    fn ready(&self, _now: u64) -> bool {
+        self.slot.is_none()
+    }
+
+    fn offer(&mut self, now: u64, item: T) -> Option<T> {
+        if self.ready(now) {
+            self.slot = Some(item);
+            None
+        } else {
+            Some(item)
+        }
+    }
+}
+
+/// A fixed-latency pipeline with a fixed initiation interval.
+///
+/// A payload offered at cycle `t` completes (becomes takeable) at
+/// `t + latency`, and the next payload cannot enter before
+/// `t + interval` — `interval > 1` models a shared datapath issuing at a
+/// fraction of full throughput (the paper's quarter-rate SFU/MEM/TEX
+/// units use `interval = shared_issue_cycles`).
+#[derive(Debug, Clone)]
+pub struct Pipe<T> {
+    latency: u64,
+    interval: u64,
+    in_flight: VecDeque<(u64, T)>,
+    next_free: u64,
+}
+
+impl<T> Pipe<T> {
+    /// A pipeline with the given result latency and initiation interval
+    /// (both minimum 1).
+    pub fn new(latency: u64, interval: u64) -> Self {
+        Pipe {
+            latency: latency.max(1),
+            interval: interval.max(1),
+            in_flight: VecDeque::new(),
+            next_free: 0,
+        }
+    }
+
+    /// The first cycle at which a new payload can enter.
+    pub fn free_at(&self) -> u64 {
+        self.next_free
+    }
+
+    /// Payloads still in flight.
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Removes and returns the oldest payload whose latency has elapsed
+    /// by `now`.
+    pub fn take(&mut self, now: u64) -> Option<T> {
+        if self.in_flight.front().is_some_and(|(done, _)| *done <= now) {
+            self.in_flight.pop_front().map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// The completion cycle of the oldest in-flight payload.
+    pub fn next_done(&self) -> Option<u64> {
+        self.in_flight.front().map(|(done, _)| *done)
+    }
+}
+
+impl<T> Stage for Pipe<T> {
+    type Item = T;
+
+    fn ready(&self, now: u64) -> bool {
+        self.next_free <= now
+    }
+
+    fn offer(&mut self, now: u64, item: T) -> Option<T> {
+        if self.ready(now) {
+            self.in_flight.push_back((now + self.latency, item));
+            self.next_free = now + self.interval;
+            None
+        } else {
+            Some(item)
+        }
+    }
+}
+
+/// A round-robin arbiter over a dynamically sized request vector.
+///
+/// The grant pointer advances only past granted requesters, so an
+/// ungranted requester keeps its priority (work-conserving fairness).
+/// Requesters are addressed by *position* in the caller's current
+/// vector; the caller reports the vector length at each grant so the
+/// pointer stays in range as requesters come and go.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RrMux {
+    next: usize,
+}
+
+impl RrMux {
+    /// An arbiter starting at position 0.
+    pub fn new() -> Self {
+        RrMux { next: 0 }
+    }
+
+    /// Grants the first position `p` (scanning `len` positions starting
+    /// at the pointer) for which `request(p)` is true; returns the
+    /// winning `(scan_offset, position)`.
+    pub fn grant(
+        &self,
+        len: usize,
+        mut request: impl FnMut(usize) -> bool,
+    ) -> Option<(usize, usize)> {
+        for k in 0..len {
+            let p = (self.next + k) % len;
+            if request(p) {
+                return Some((k, p));
+            }
+        }
+        None
+    }
+
+    /// The position scanned at offset `k` this cycle.
+    pub fn position(&self, k: usize, len: usize) -> usize {
+        (self.next + k) % len
+    }
+
+    /// Advances the pointer past scan offset `k` (of `len` positions).
+    pub fn advance_past(&mut self, k: usize, len: usize) {
+        self.next = (self.next + k + 1) % len.max(1);
+    }
+
+    /// Resets the pointer to position 0 (the greedy/oldest-first policy).
+    pub fn reset(&mut self) {
+        self.next = 0;
+    }
+}
+
+/// A fixed-priority arbiter: always grants the lowest index whose
+/// request is true. Used where the reference semantics are "pick the
+/// lowest-numbered candidate" (active-set refill).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityMux;
+
+impl PriorityMux {
+    /// Grants the lowest index `i < len` for which `request(i)` is true.
+    pub fn grant(&self, len: usize, mut request: impl FnMut(usize) -> bool) -> Option<usize> {
+        (0..len).find(|&i| request(i))
+    }
+}
+
+/// Credit-based flow control: a fixed pool of credits, one held per
+/// in-flight payload. The holder acquires on entry and releases on
+/// retirement; `acquire` failing is the backpressure signal.
+#[derive(Debug, Clone, Copy)]
+pub struct Credit {
+    available: usize,
+    capacity: usize,
+}
+
+impl Credit {
+    /// A pool of `capacity` credits, all initially available.
+    pub fn new(capacity: usize) -> Self {
+        Credit {
+            available: capacity,
+            capacity,
+        }
+    }
+
+    /// Credits currently available.
+    pub fn available(&self) -> usize {
+        self.available
+    }
+
+    /// Credits currently held.
+    pub fn held(&self) -> usize {
+        self.capacity - self.available
+    }
+
+    /// Takes one credit; `false` (backpressure) when the pool is empty.
+    pub fn acquire(&mut self) -> bool {
+        if self.available > 0 {
+            self.available -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one credit to the pool. Saturates at capacity, so a
+    /// double release is inert rather than inflating the pool.
+    pub fn release(&mut self) {
+        self.available = (self.available + 1).min(self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_order_and_backpressures() {
+        let mut f: Fifo<u32> = Fifo::new(2);
+        assert!(f.is_empty());
+        assert_eq!(f.offer(0, 10), None);
+        assert_eq!(f.offer(0, 11), None);
+        assert!(!f.ready(0));
+        // Full: the payload comes back, nothing is lost.
+        assert_eq!(f.offer(0, 12), Some(12));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.take(), Some(10));
+        assert_eq!(f.free(), 1);
+        assert_eq!(f.offer(1, 12), None);
+        assert_eq!(f.take(), Some(11));
+        assert_eq!(f.take(), Some(12));
+        assert_eq!(f.take(), None);
+    }
+
+    #[test]
+    fn fifo_zero_capacity_is_clamped() {
+        let mut f: Fifo<u8> = Fifo::new(0);
+        assert!(f.ready(0));
+        assert_eq!(f.offer(0, 1), None);
+        assert_eq!(f.offer(0, 2), Some(2));
+    }
+
+    #[test]
+    fn skid_holds_exactly_one() {
+        let mut s: Skid<&str> = Skid::new();
+        assert!(s.ready(0));
+        assert_eq!(s.offer(0, "a"), None);
+        assert!(s.is_occupied());
+        assert_eq!(s.offer(0, "b"), Some("b"));
+        assert_eq!(s.peek(), Some(&"a"));
+        assert_eq!(s.take(), Some("a"));
+        assert!(s.ready(1));
+        assert_eq!(s.take(), None);
+    }
+
+    #[test]
+    fn pipe_applies_latency_and_initiation_interval() {
+        let mut p: Pipe<u32> = Pipe::new(8, 4);
+        assert!(p.ready(0));
+        assert_eq!(p.offer(0, 1), None);
+        // Initiation interval: busy until cycle 4.
+        assert!(!p.ready(3));
+        assert_eq!(p.offer(3, 2), Some(2));
+        assert_eq!(p.free_at(), 4);
+        assert!(p.ready(4));
+        assert_eq!(p.offer(4, 2), None);
+        // Latency: payload 1 completes at 8, payload 2 at 12.
+        assert_eq!(p.take(7), None);
+        assert_eq!(p.next_done(), Some(8));
+        assert_eq!(p.take(8), Some(1));
+        assert_eq!(p.take(11), None);
+        assert_eq!(p.take(12), Some(2));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn pipe_full_throughput_is_interval_one() {
+        let mut p: Pipe<u64> = Pipe::new(2, 1);
+        for t in 0..4u64 {
+            assert!(p.ready(t));
+            assert_eq!(p.offer(t, t), None);
+        }
+        assert_eq!(p.len(), 4);
+        for t in 0..4u64 {
+            assert_eq!(p.take(t + 2), Some(t));
+        }
+    }
+
+    #[test]
+    fn rr_mux_rotates_only_past_grants() {
+        let mut m = RrMux::new();
+        // Positions 0..4; only 2 requests.
+        assert_eq!(m.grant(4, |p| p == 2), Some((2, 2)));
+        // No grant taken: pointer unchanged, same winner next cycle.
+        assert_eq!(m.grant(4, |p| p == 2), Some((2, 2)));
+        m.advance_past(2, 4);
+        // Pointer now at 3: scan order is 3,0,1,2.
+        assert_eq!(m.grant(4, |_| true), Some((0, 3)));
+        m.advance_past(0, 4);
+        assert_eq!(m.grant(4, |_| true), Some((0, 0)));
+        assert_eq!(m.grant(4, |_| false), None);
+    }
+
+    #[test]
+    fn rr_mux_is_fair_over_contending_requesters() {
+        // Two always-requesting positions alternate grants.
+        let mut m = RrMux::new();
+        let mut wins = [0u32; 2];
+        for _ in 0..10 {
+            let (k, p) = m.grant(2, |_| true).unwrap();
+            wins[p] += 1;
+            m.advance_past(k, 2);
+        }
+        assert_eq!(wins, [5, 5]);
+    }
+
+    #[test]
+    fn rr_mux_advance_handles_shrinking_vector() {
+        let mut m = RrMux::new();
+        m.advance_past(3, 4); // pointer 0 -> 0 (wraps)
+        assert_eq!(m.position(0, 4), 0);
+        m.advance_past(2, 3); // pointer -> 0 on a 3-long vector
+        assert_eq!(m.position(0, 3), 0);
+        m.advance_past(0, 0); // empty vector: no panic, pointer 0
+        assert_eq!(m.position(0, 1), 0);
+    }
+
+    #[test]
+    fn priority_mux_always_grants_lowest() {
+        let m = PriorityMux;
+        assert_eq!(m.grant(5, |i| i >= 3), Some(3));
+        assert_eq!(m.grant(5, |_| true), Some(0));
+        assert_eq!(m.grant(5, |_| false), None);
+        assert_eq!(m.grant(0, |_| true), None);
+    }
+
+    #[test]
+    fn credit_bounds_occupancy() {
+        let mut c = Credit::new(2);
+        assert!(c.acquire());
+        assert!(c.acquire());
+        assert_eq!(c.available(), 0);
+        assert_eq!(c.held(), 2);
+        assert!(!c.acquire());
+        c.release();
+        assert!(c.acquire());
+        // Saturating release: cannot mint credits beyond capacity.
+        c.release();
+        c.release();
+        c.release();
+        assert_eq!(c.available(), 2);
+    }
+}

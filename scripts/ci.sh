@@ -33,6 +33,14 @@ RFH_JOBS=1 RFH_EXEC_DIFF_CASES=100 cargo test -q --offline --test exec_different
 RFH_JOBS=8 RFH_EXEC_DIFF_CASES=100 cargo test -q --offline --test exec_differential
 echo "exec differential suite green under RFH_JOBS=1 and RFH_JOBS=8"
 
+echo "==> timing differential smoke (staged engine vs frozen reference engine)"
+# Same contract for the timing-model pair: the full 600-case sweep runs
+# in `cargo test` above; these bounded runs pin job-count invariance of
+# the 35-workload grid and the generated-trace generator.
+RFH_JOBS=1 RFH_TIMING_DIFF_CASES=100 cargo test -q --offline --test timing_differential
+RFH_JOBS=8 RFH_TIMING_DIFF_CASES=100 cargo test -q --offline --test timing_differential
+echo "timing differential suite green under RFH_JOBS=1 and RFH_JOBS=8"
+
 echo "==> repro smoke (parallel run must reproduce the committed goldens)"
 # Regenerate the golden CSVs with two pool workers and diff byte-for-byte
 # against results/*.csv: parallelism and memoization must not change a
@@ -57,6 +65,34 @@ RFH_EXEC_BENCH_REPS=1 ./target/release/repro \
     > "$artifacts/exec_bench.txt"
 grep -q '"schema": "rfh-exec-bench-v1"' "$artifacts/BENCH_exec.json"
 echo "exec-bench result: $artifacts/BENCH_exec.json"
+
+echo "==> multi-SM smoke (rfhc timing across SM counts)"
+# `rfhc timing --sms N` must produce byte-identical stdout under a serial
+# pool and an 8-worker pool (SM results fold in SM order), and both
+# timing engines must render the same table.
+for sms in 1 4; do
+    RFH_JOBS=1 ./target/release/rfhc timing --workload vectoradd --sms "$sms" \
+        > "$artifacts/timing_sms$sms.txt" 2> /dev/null
+    RFH_JOBS=8 ./target/release/rfhc timing --workload vectoradd --sms "$sms" \
+        > "$artifacts/timing_sms$sms.jobs8.txt" 2> /dev/null
+    cmp "$artifacts/timing_sms$sms.txt" "$artifacts/timing_sms$sms.jobs8.txt"
+done
+./target/release/rfhc timing --workload reduction --sms 2 --engine reference \
+    > "$artifacts/timing_reference.txt" 2> /dev/null
+./target/release/rfhc timing --workload reduction --sms 2 --engine staged \
+    > "$artifacts/timing_staged.txt" 2> /dev/null
+cmp "$artifacts/timing_reference.txt" "$artifacts/timing_staged.txt"
+echo "multi-SM runs byte-identical across job counts and engines"
+
+echo "==> timing-bench smoke (timing-model throughput, one rep)"
+# One timed repetition of the staged-vs-reference throughput and the SM
+# scaling curve; exports the rfh-timing-bench-v1 JSON. Perf numbers are
+# not gated (CI machines vary); the committed history is BENCH_timing.json.
+RFH_TIMING_BENCH_REPS=1 ./target/release/repro \
+    --timing-bench-json "$artifacts/BENCH_timing.json" timing-bench \
+    > "$artifacts/timing_bench.txt"
+grep -q '"schema": "rfh-timing-bench-v1"' "$artifacts/BENCH_timing.json"
+echo "timing-bench result: $artifacts/BENCH_timing.json"
 
 echo "==> lint smoke + golden diagnostics report"
 # The analyzer must accept the repo's own kernels: `rfhc lint` on a known
@@ -177,10 +213,13 @@ echo "==> panic gate (hardened crates)"
 # Non-test library code of the hardened crates must stay panic-free:
 # no .unwrap() / panic! / unreachable! / todo! outside #[cfg(test)]
 # modules. `.expect("reason")` is allowed — the reason is the review gate.
+# Whole-file test modules (src/*/tests.rs, declared `#[cfg(test)] mod
+# tests;` by their parent) are skipped like inline test modules.
 fail=0
 for f in crates/isa/src/*.rs crates/alloc/src/*.rs crates/analysis/src/*.rs \
     crates/sim/src/*.rs crates/sim/src/*/*.rs crates/chaos/src/*.rs \
     crates/lint/src/*.rs crates/rfhd/src/*.rs; do
+    case "$f" in */tests.rs) continue ;; esac
     hits=$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }

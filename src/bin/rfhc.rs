@@ -30,6 +30,14 @@
 //! tested against. Both produce byte-identical traces; the flag exists so
 //! any divergence can be reproduced from the command line.
 //!
+//! The `timing` subcommand replays a captured instruction trace through
+//! the cycle-level two-level-scheduler model (`rfh::sim::timing`) across
+//! `--sms N` SM contexts sharing a contended memory model, and prints the
+//! per-SM and chip-level results. Its own `--engine staged|reference`
+//! flag picks between the stage-combinator engine (the default) and the
+//! frozen reference oracle; both produce identical results, and the
+//! output is byte-identical at any `--jobs` count.
+//!
 //! The `serve` subcommand runs the compile-service daemon (`rfh-rfhd`) in
 //! the foreground; `client` drives it — one request, or the
 //! `--replay-workloads` load generator with `--bench-json` output.
@@ -57,6 +65,10 @@ const USAGE: &str = "usage: rfhc [--orf N] [--lrf none|unified|split] [--no-part
              [--json | --chrome | --profile] [--ctas N] [--threads N] \
      [--engine soa|reference] [--jobs N]\n\
              <kernel.rfasm | ->\n\
+       rfhc timing [--sms N] [--engine staged|reference] [--active N | --single-level] \
+     [--greedy]\n\
+             [--uncontended] [--ctas N] [--threads N] [--jobs N] \
+     (--workload NAME | <kernel.rfasm | ->)\n\
        rfhc serve (--tcp HOST:PORT | --unix PATH) [--workers N]\n\
        rfhc client (--tcp HOST:PORT | --unix PATH) [--op OP] [--workload NAME] \
      [--timeout-ms N]\n\
@@ -105,6 +117,10 @@ fn real_main() -> Result<(), RfhError> {
     if args.peek().map(String::as_str) == Some("trace") {
         args.next();
         return trace_main(args);
+    }
+    if args.peek().map(String::as_str) == Some("timing") {
+        args.next();
+        return timing_main(args);
     }
     if args.peek().map(String::as_str) == Some("serve") {
         args.next();
@@ -388,6 +404,169 @@ fn trace_main(mut args: std::iter::Peekable<impl Iterator<Item = String>>) -> Re
         exporter.summary(),
         profiler.per_strand().len(),
         profiler.total_energy().total()
+    );
+    Ok(())
+}
+
+/// The `rfhc timing` subcommand: capture a baseline instruction trace
+/// and replay it through the cycle-level scheduler model across `--sms`
+/// SM contexts.
+///
+/// The kernel comes from `--workload NAME` (a paper-suite workload with
+/// its own launch geometry and memory image) or a kernel file; the
+/// per-SM result table goes to stdout and a chip-level summary to
+/// stderr. SMs simulate in parallel over the worker pool with results
+/// folded in SM order, so the output is byte-identical at any `--jobs`
+/// count.
+fn timing_main(
+    mut args: std::iter::Peekable<impl Iterator<Item = String>>,
+) -> Result<(), RfhError> {
+    use rfh::sim::timing::{Engine, MemoryModel, MultiSmConfig, TimingConfig, TraceCapture};
+
+    let mut sms: usize = 1;
+    let mut engine = Engine::default();
+    let mut active: usize = 8;
+    let mut single_level = false;
+    let mut greedy = false;
+    let mut uncontended = false;
+    let mut ctas: usize = 1;
+    let mut threads: usize = 64;
+    let mut workload: Option<String> = None;
+    let mut input: Option<String> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sms" => {
+                sms = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| usage("--sms needs a positive integer"))?;
+            }
+            "--engine" => {
+                engine = args
+                    .next()
+                    .as_deref()
+                    .and_then(Engine::from_name)
+                    .ok_or_else(|| usage("--engine needs staged|reference"))?;
+            }
+            "--active" => {
+                active = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| usage("--active needs an integer value"))?;
+            }
+            "--single-level" => single_level = true,
+            "--greedy" => greedy = true,
+            "--uncontended" => uncontended = true,
+            "--ctas" => {
+                ctas = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| usage("--ctas needs a positive integer"))?;
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| usage("--threads needs a positive integer"))?;
+            }
+            "--workload" => {
+                workload = Some(
+                    args.next()
+                        .ok_or_else(|| usage("--workload needs a name"))?,
+                )
+            }
+            "--jobs" => set_jobs(&args.next().ok_or_else(|| usage("--jobs needs a value"))?),
+            "--help" | "-h" => return Err(usage("")),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.into()),
+            other => return Err(usage(&format!("unrecognized argument `{other}`"))),
+        }
+    }
+
+    // The trace source: a paper-suite workload (own launch geometry and
+    // memory image) or a kernel file under `--ctas`/`--threads`.
+    let machine = rfh::sim::MachineConfig::paper();
+    let (name, kernel, launch, mut mem) = match (&workload, &input) {
+        (Some(_), Some(_)) => {
+            return Err(usage("--workload and a kernel file are mutually exclusive"))
+        }
+        (Some(name), None) => {
+            let w = rfh::workloads::by_name(name).ok_or_else(|| {
+                usage(&format!(
+                    "unknown workload `{name}` (see `rfh::workloads::all`)"
+                ))
+            })?;
+            (w.name.to_string(), w.kernel, w.launch, w.memory)
+        }
+        (None, Some(path)) => {
+            let text = read_input(path)?;
+            let kernel = rfh::isa::parse_kernel(&text)?;
+            rfh::isa::validate(&kernel)?;
+            (
+                path.clone(),
+                kernel,
+                rfh::sim::Launch::new(ctas, threads),
+                rfh::sim::GlobalMemory::new(1 << 16),
+            )
+        }
+        (None, None) => return Err(usage("timing needs --workload NAME or a kernel file")),
+    };
+
+    let mut cap = TraceCapture::new(machine.clone(), launch.threads_per_cta);
+    rfh::sim::exec::execute_with(
+        &kernel,
+        &launch,
+        &mut mem,
+        rfh::sim::ExecMode::Baseline,
+        &machine,
+        &mut [&mut cap],
+    )?;
+
+    let mut per_sm = if single_level {
+        TimingConfig::single_level()
+    } else {
+        TimingConfig::two_level(active)
+    };
+    if greedy {
+        per_sm = per_sm.with_policy(rfh::sim::SchedPolicy::Greedy);
+    }
+    let mut config = MultiSmConfig::new(sms, per_sm).with_engine(engine);
+    if uncontended {
+        config = config.with_memory(MemoryModel::uncontended());
+    }
+
+    let result = rfh::sim::timing::simulate_multi_sm(&cap.traces, &|w| cap.cta_of(w), &config)?;
+    for s in &result.per_sm {
+        println!(
+            "sm {}: ctas {} warps {} cycles {} instructions {} deschedules {} ipc {:.4}",
+            s.sm,
+            s.ctas,
+            s.warps,
+            s.result.cycles,
+            s.result.instructions,
+            s.result.deschedules,
+            s.result.ipc()
+        );
+    }
+    println!(
+        "total: sms {} cycles {} instructions {} deschedules {} ipc {:.4}",
+        sms,
+        result.cycles(),
+        result.instructions(),
+        result.deschedules(),
+        result.ipc()
+    );
+    eprintln!(
+        "rfhc timing: {name} — {} warp(s) in {} CTA(s) across {sms} SM(s), \
+         engine {}, chip IPC {:.4}",
+        cap.traces.len(),
+        launch.ctas,
+        engine.name(),
+        result.ipc()
     );
     Ok(())
 }

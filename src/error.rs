@@ -182,7 +182,11 @@ mod tests {
             })
             .exit_code(),
             RfhError::Alloc(AllocError::Config("cfg".into())).exit_code(),
-            RfhError::Timing(TimingError::Deadlock { cycle: 3 }).exit_code(),
+            RfhError::Timing(TimingError::Deadlock {
+                cycle: 3,
+                snapshot: rfh_sim::DeadlockSnapshot::default(),
+            })
+            .exit_code(),
             RfhError::Lint { errors: 2 }.exit_code(),
             RfhError::Daemon {
                 message: "daemon connection failed".into(),
